@@ -1,0 +1,99 @@
+"""Ablations of SynCron's design choices (beyond the paper's own figures).
+
+DESIGN.md calls out the knobs that define SynCron's advantage; these benches
+quantify each one in isolation:
+
+- SE service time (the SPU's 12 SE-cycles) vs a software handler's cost;
+- indexing-counter count (aliasing forces unnecessary memory servicing);
+- the Sec. 4.4.2 fairness threshold's throughput cost;
+- the server-core handler cost model that separates Hier from SynCron.
+"""
+
+from repro.sim.config import ndp_2_5d
+from repro.workloads.base import run_workload
+from repro.workloads.datastructures import LinkedListWorkload, StackWorkload
+from repro.harness.reporting import format_table
+
+
+def test_se_service_time_ablation(once):
+    """Faster SPUs help high-contention workloads; the paper's 12-cycle
+    service is near the knee."""
+    def sweep():
+        rows = []
+        for se_cycles in (3, 12, 48):
+            config = ndp_2_5d(se_service_se_cycles=se_cycles)
+            metrics = run_workload(StackWorkload, config, "syncron")
+            rows.append({"se_cycles": se_cycles, "cycles": metrics.cycles})
+        return rows
+
+    rows = once(sweep)
+    print()
+    print(format_table(rows, title="Ablation: SE service time (stack)"))
+    assert rows[0]["cycles"] <= rows[-1]["cycles"]
+
+
+def test_indexing_counter_aliasing_ablation(once):
+    """With very few counters, unrelated variables alias into memory
+    servicing while the ST still has room (paper Sec. 4.2.3's caveat)."""
+    def sweep():
+        rows = []
+        for counters in (1, 4, 256):
+            config = ndp_2_5d(st_entries=4, indexing_counters=counters)
+            metrics = run_workload(LinkedListWorkload, config, "syncron")
+            rows.append({
+                "counters": counters,
+                "cycles": metrics.cycles,
+                "overflow_pct": metrics.overflow_request_pct,
+            })
+        return rows
+
+    rows = once(sweep)
+    print()
+    print(format_table(rows, title="Ablation: indexing counters (linked list, 4-entry ST)"))
+    # aliasing can only increase the share of memory-serviced requests.
+    assert rows[0]["overflow_pct"] >= rows[-1]["overflow_pct"]
+
+
+def test_fairness_threshold_ablation(once):
+    """Fairness transfers cost throughput under a hot lock — the reason the
+    paper leaves the threshold to the OS/user (Sec. 4.4.2)."""
+    def sweep():
+        rows = []
+        for threshold in (0, 2, 8):
+            config = ndp_2_5d(fairness_threshold=threshold)
+            metrics = run_workload(StackWorkload, config, "syncron")
+            rows.append({"threshold": threshold, "cycles": metrics.cycles})
+        return rows
+
+    rows = once(sweep)
+    print()
+    print(format_table(rows, title="Ablation: lock fairness threshold (stack)"))
+    no_fairness = rows[0]["cycles"]
+    strict = rows[1]["cycles"]
+    assert strict >= no_fairness * 0.95  # strict fairness is never free
+
+
+def test_server_handler_cost_ablation(once):
+    """Hier's gap to SynCron comes from software handling + memory-hosted
+    state: shrink the handler cost and the gap shrinks with it."""
+    def sweep():
+        rows = []
+        for instr in (4, 24, 96):
+            config = ndp_2_5d(server_handler_instructions=instr)
+            hier = run_workload(StackWorkload, config, "hier")
+            syncron = run_workload(StackWorkload, config, "syncron")
+            rows.append({
+                "handler_instr": instr,
+                "hier_cycles": hier.cycles,
+                "syncron_cycles": syncron.cycles,
+                "syncron_vs_hier": hier.cycles / syncron.cycles,
+            })
+        return rows
+
+    rows = once(sweep)
+    print()
+    print(format_table(rows, title="Ablation: server handler cost (stack)"))
+    # SynCron's cycles are independent of the server cost model…
+    assert rows[0]["syncron_cycles"] == rows[-1]["syncron_cycles"]
+    # …while Hier degrades as its handler gets heavier.
+    assert rows[-1]["hier_cycles"] > rows[0]["hier_cycles"]

@@ -1,0 +1,26 @@
+"""Benchmark harness conventions.
+
+Each ``bench_*.py`` / ``test_*`` target regenerates one of the paper's
+tables or figures through :mod:`repro.harness.experiments`, prints the same
+rows/series the paper reports, and asserts the qualitative *shape* (who
+wins, direction of trends).  pytest-benchmark wraps the run so regression
+tracking works, with a single round — these are simulations, not
+microbenchmarks, and one deterministic run is exact.
+
+``REPRO_SCALE`` (small | medium | full) controls input sizes.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark and return its value."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+
+
+@pytest.fixture
+def once(benchmark):
+    def runner(fn):
+        return run_once(benchmark, fn)
+
+    return runner

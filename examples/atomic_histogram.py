@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Atomic-rmw histogram: the Sec. 4.4.1 extension in action.
+
+Sixty cores bin a synthetic data stream into a shared 16-bucket histogram.
+Three ways to protect the buckets:
+
+1. ``lock``      — one lock per bucket, update under mutual exclusion
+                   (three sync messages + two uncacheable accesses per bin);
+2. ``rmw``       — a single ``fetch_add`` executed at the bucket's Master
+                   SE (one round trip, no lock traffic at all);
+3. ``ideal``     — zero-cost updates (the lower bound).
+
+The fetch_add path also returns the old value, which the program uses to
+detect each bucket's first writer — the kind of idiom (claim / tag / count)
+remote atomics exist for.
+
+Run:  python examples/atomic_histogram.py
+"""
+
+from repro import NDPSystem, api, ndp_2_5d
+from repro.sim import Compute
+from repro.sim.program import Load, RmwOp, Store
+
+BINS = 16
+ITEMS_PER_CORE = 24
+
+
+def synthetic_stream(core_id: int):
+    """Deterministic per-core data stream (skewed toward low bins)."""
+    for i in range(ITEMS_PER_CORE):
+        value = (core_id * 31 + i * 17) % 97
+        yield min(value // 7, BINS - 1)
+
+
+def run_histogram(style: str):
+    mechanism = "ideal" if style == "ideal" else "syncron"
+    system = NDPSystem(ndp_2_5d(), mechanism=mechanism)
+    base = system.addrmap.alloc(unit=0, nbytes=8 * BINS)
+    locks = [system.create_syncvar(name=f"bin{i}") for i in range(BINS)]
+    counts = [0] * BINS
+    first_writers = {}
+
+    def worker_lock(core_id: int):
+        for bin_index in synthetic_stream(core_id):
+            yield api.lock_acquire(locks[bin_index])
+            yield Load(base + 8 * bin_index, cacheable=False)
+            counts[bin_index] += 1
+            yield Store(base + 8 * bin_index, cacheable=False)
+            yield api.lock_release(locks[bin_index])
+            yield Compute(10)
+
+    def worker_rmw(core_id: int):
+        for bin_index in synthetic_stream(core_id):
+            old = yield RmwOp("fetch_add", base + 8 * bin_index, 1)
+            counts[bin_index] += 1
+            if old == 0:
+                first_writers.setdefault(bin_index, core_id)
+            yield Compute(10)
+
+    worker = worker_lock if style == "lock" else worker_rmw
+    cycles = system.run_programs(
+        {core.core_id: worker(core.core_id) for core in system.cores}
+    )
+
+    expected = sum(
+        1 for core in system.cores for _ in synthetic_stream(core.core_id)
+    )
+    assert sum(counts) == expected, "lost histogram updates"
+    if style != "lock":
+        for bin_index, count in enumerate(counts):
+            stored = system.mechanism.rmw_value(base + 8 * bin_index)
+            assert stored == count, f"bin {bin_index}: {stored} != {count}"
+    return cycles, system.stats, counts
+
+
+def main() -> None:
+    results = {}
+    for style in ("lock", "rmw", "ideal"):
+        cycles, stats, counts = run_histogram(style)
+        results[style] = (cycles, stats)
+        print(f"{style:6s} {cycles:>9,} cycles   "
+              f"sync msgs {stats.sync_messages_local + stats.sync_messages_global:>7,}   "
+              f"inter-unit KB {stats.bytes_across_units / 1024:8.1f}")
+
+    lock_cycles = results["lock"][0]
+    rmw_cycles = results["rmw"][0]
+    print(f"\nfetch_add at the Master SE is {lock_cycles / rmw_cycles:.2f}x "
+          "faster than per-bucket locking — one message round trip instead "
+          "of lock traffic plus uncacheable loads/stores.")
+    print(f"histogram shape: {counts}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""ST-overflow behaviour under a fine-grained locking stress (Sec. 4.3).
+
+A pipeline of worker cores does hand-over-hand (lock-coupling) traversal
+over a chain of nodes, each protected by its own lock — the access pattern
+that makes BST_FG/linked-list overflow the 64-entry Synchronization Table
+in the paper's Fig. 23.  The script:
+
+1. runs the stress at several ST sizes and prints how much of the request
+   stream falls back to memory (indexing counters at work);
+2. compares SynCron's integrated hardware overflow against the MiSAR-style
+   abort-to-software alternatives;
+3. shows the Sec. 4.6 conventional-system adaptation (shared-cache
+   overflow) recovering most of the lost throughput on DDR4.
+
+Run:  python examples/overflow_stress.py
+"""
+
+from repro import NDPSystem, api, ndp_2_5d
+from repro.sim import Compute
+from repro.sim.config import DDR4
+
+
+CHAIN_LENGTH = 24
+ROUNDS = 3
+
+
+def lock_coupling_stress(config, mechanism: str):
+    """Every core walks a lock-per-node chain holding two locks at a time."""
+    system = NDPSystem(config, mechanism=mechanism)
+    locks = [
+        system.create_syncvar(name=f"node{i}") for i in range(CHAIN_LENGTH)
+    ]
+    state = {"traversals": 0}
+
+    def worker(start: int):
+        for round_idx in range(ROUNDS):
+            position = (start + round_idx) % CHAIN_LENGTH
+            yield api.lock_acquire(locks[position])
+            for step in range(6):
+                nxt = (position + 1) % CHAIN_LENGTH
+                # Hand-over-hand: take the next node before dropping this
+                # one — at least two live locks per core at all times.
+                # Wrap-around would deadlock, so the walk stops at the end.
+                if nxt <= position:
+                    break
+                yield api.lock_acquire(locks[nxt])
+                yield Compute(10)
+                yield api.lock_release(locks[position])
+                position = nxt
+            yield api.lock_release(locks[position])
+            state["traversals"] += 1
+
+    cycles = system.run_programs({
+        core.core_id: worker((i * 5) % (CHAIN_LENGTH - 8))
+        for i, core in enumerate(system.cores)
+    })
+    assert state["traversals"] == ROUNDS * len(system.cores)
+    return cycles, system.stats
+
+
+def main() -> None:
+    print(f"lock-coupling chain of {CHAIN_LENGTH} node locks, "
+          f"60 cores, {ROUNDS} traversals each\n")
+
+    print("1) ST size vs overflow share (syncron):")
+    print(f"{'ST entries':>10s} {'cycles':>10s} {'overflow %':>11s}")
+    for st_entries in (64, 16, 8, 4):
+        config = ndp_2_5d(st_entries=st_entries)
+        cycles, stats = lock_coupling_stress(config, "syncron")
+        print(f"{st_entries:>10} {cycles:>10,} "
+              f"{stats.overflow_request_pct:>10.1f}%")
+
+    print("\n2) Overflow schemes at an 8-entry ST "
+          "(integrated vs MiSAR-style aborts):")
+    config = ndp_2_5d(st_entries=8)
+    for mechanism in ("syncron", "syncron_distrib_ovrfl",
+                      "syncron_central_ovrfl"):
+        cycles, stats = lock_coupling_stress(config, mechanism)
+        print(f"  {mechanism:22s} {cycles:>10,} cycles "
+              f"({stats.overflow_request_pct:.1f}% overflowed)")
+
+    print("\n3) Sec. 4.6 adaptation on DDR4: overflow state in a shared "
+          "cache instead of DRAM:")
+    for target in ("memory", "shared_cache"):
+        config = ndp_2_5d(st_entries=8, memory=DDR4, overflow_target=target)
+        cycles, _stats = lock_coupling_stress(config, "syncron")
+        print(f"  overflow_target={target:13s} {cycles:>10,} cycles")
+
+    print("\nSynCron degrades gracefully: memory servicing costs one local "
+          "DRAM read-modify-write per touched request, with no aborts and "
+          "no programmer involvement.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Legacy setup shim: this environment has no `wheel` package, so editable
+installs must go through setuptools' develop path instead of PEP 660."""
+from setuptools import setup
+
+setup()

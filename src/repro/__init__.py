@@ -1,0 +1,58 @@
+"""SynCron reproduction (HPCA 2021).
+
+A full-system reproduction of *SynCron: Efficient Synchronization Support
+for Near-Data-Processing Architectures* (Giannoula et al., HPCA 2021):
+
+- :mod:`repro.sim` — the NDP-system simulator substrate (cores, caches,
+  networks, DRAM, energy).
+- :mod:`repro.core` — SynCron itself (Synchronization Engines, ST, overflow
+  management, programming API).
+- :mod:`repro.sync` — baselines: Central, Hier, Ideal, flat SynCron, and
+  MiSAR-style overflow variants.
+- :mod:`repro.coherence` — directory-MESI substrate for the motivational
+  experiments (Table 1, Fig. 2).
+- :mod:`repro.workloads` — microbenchmarks, pointer-chasing data structures,
+  graph kernels, and time-series analysis.
+- :mod:`repro.harness` — experiment runner and per-figure reproductions.
+
+Quick start::
+
+    from repro import api, NDPSystem, ndp_2_5d
+    from repro.sim import Compute
+
+    system = NDPSystem(ndp_2_5d(), mechanism="syncron")
+    lock = system.create_syncvar(name="my_lock")
+    counter = {"value": 0}
+
+    def worker():
+        for _ in range(10):
+            yield api.lock_acquire(lock)
+            counter["value"] += 1
+            yield Compute(20)
+            yield api.lock_release(lock)
+
+    cycles = system.run_programs({c.core_id: worker() for c in system.cores})
+"""
+
+from repro.core import api
+from repro.sim import (
+    NDPSystem,
+    SystemConfig,
+    cpu_numa,
+    ndp_2_5d,
+    ndp_2d,
+    ndp_3d,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "api",
+    "NDPSystem",
+    "SystemConfig",
+    "cpu_numa",
+    "ndp_2_5d",
+    "ndp_2d",
+    "ndp_3d",
+    "__version__",
+]

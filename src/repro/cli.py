@@ -1,0 +1,224 @@
+"""Command-line interface: list and run the paper's experiments.
+
+::
+
+    python -m repro list                     # what can be reproduced
+    python -m repro run fig11 --arg structure=stack
+    python -m repro run table1
+    python -m repro run fig22 --arg combos=ts.air
+    python -m repro run fig10 --arg primitive=lock --plot
+    python -m repro run ext_rwlock --plot    # extension experiments
+    python -m repro quickstart               # the README example
+
+Each ``run`` target calls the corresponding function in
+:mod:`repro.harness.experiments` / :mod:`repro.harness.motivation` /
+:mod:`repro.harness.ablations` and prints its rows as a text table;
+``--plot`` adds a terminal chart in the figure's shape.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Optional, Tuple
+
+from repro.harness import ablations, experiments, motivation
+from repro.harness.plotting import bar_chart, line_chart
+from repro.harness.reporting import format_table
+
+#: experiment name -> (callable, description).
+EXPERIMENTS: Dict[str, tuple] = {
+    "table1": (motivation.table1, "coherence-lock throughput on a NUMA CPU"),
+    "fig2": (motivation.fig2, "mesi-lock stack slowdown vs ideal-lock"),
+    "fig10": (experiments.fig10, "primitive speedups vs interval (needs primitive=...)"),
+    "fig11": (experiments.fig11, "data-structure throughput (needs structure=...)"),
+    "fig12": (experiments.fig12, "real-application speedups over Central"),
+    "fig13": (experiments.fig13, "SynCron scalability across NDP units"),
+    "fig14": (experiments.fig14, "energy breakdown"),
+    "fig15": (experiments.fig15, "data movement"),
+    "fig16": (experiments.fig16, "high-contention link-latency sensitivity"),
+    "fig17": (experiments.fig17, "low-contention link-latency sensitivity"),
+    "fig18": (experiments.fig18, "memory-technology sweep"),
+    "fig19": (experiments.fig19, "graph-partitioning effect"),
+    "fig20": (experiments.fig20, "SynCron vs flat (graphs)"),
+    "fig21a": (experiments.fig21a, "SynCron vs flat (time series)"),
+    "fig21b": (experiments.fig21b, "SynCron vs flat (queue)"),
+    "fig22": (experiments.fig22, "ST size sensitivity"),
+    "fig23": (experiments.fig23, "overflow-management schemes"),
+    "table7": (experiments.table7, "ST occupancy per application"),
+    # Extension experiments (beyond the paper's own figures).
+    "ext_spin": (ablations.spin_baselines,
+                 "spin-wait baselines (bakery / remote atomics) vs messaging"),
+    "ext_overflow": (ablations.overflow_target_sweep,
+                     "Sec. 4.6 shared-cache vs memory overflow target"),
+    "ext_rwlock": (ablations.rwlock_read_ratio,
+                   "reader-writer lock vs plain mutex across read ratios"),
+    "ext_fairness": (ablations.fairness_sweep,
+                     "Sec. 4.4.2 fairness threshold trade-off"),
+    "ext_se_knee": (ablations.se_vs_server_latency,
+                    "SE service-time knee vs the Hier software server"),
+    "ext_smt": (ablations.smt_sweep,
+                "hardware thread contexts per core (Sec. 4 SMT note)"),
+    "ext_unionfind": (ablations.unionfind_connectivity,
+                      "rw-lock union-find connectivity vs mutex"),
+}
+
+#: experiment name -> how to draw it (chart kind, x/group key, series).
+_MECHS: Tuple[str, ...] = ("central", "hier", "syncron", "ideal")
+_PLOTS: Dict[str, tuple] = {
+    "fig10": ("line", "interval", _MECHS, True),
+    "fig11": ("line", "cores", _MECHS, False),
+    "fig12": ("bars", "app", ("hier", "syncron", "ideal"), False),
+    "fig16": ("line", "latency_ns", _MECHS, True),
+    "fig17": ("line", "latency_ns", ("central", "hier", "syncron"), True),
+    "fig22": ("bars", "app", ("ST_64", "ST_32", "ST_8"), False),
+    "ext_spin": ("line", "cores",
+                 ("bakery", "rmw_spin", "syncron", "ideal"), False),
+    "ext_rwlock": ("line", "read_pct",
+                   ("mutex", "syncron", "rmw_spin", "ideal"), False),
+    "ext_fairness": ("line", "threshold",
+                     ("makespan", "unit_finish_spread"), False),
+    "ext_se_knee": ("line", "se_service_cycles",
+                    ("syncron_ops_ms", "hier_ops_ms"), False),
+    "ext_smt": ("line", "threads_per_core", ("syncron", "ideal"), False),
+}
+
+
+def render_plot(name: str, rows) -> Optional[str]:
+    """Terminal chart for an experiment's rows, or None when unmapped."""
+    spec = _PLOTS.get(name)
+    if spec is None or not isinstance(rows, list):
+        return None
+    kind, key, series, log_x = spec
+    series = [s for s in series if rows and s in rows[0]]
+    if not series:
+        return None
+    if kind == "line":
+        return line_chart(rows, key, series, title=name, log_x=log_x)
+    charts = []
+    for row in rows:
+        charts.append(bar_chart(
+            {s: float(row[s]) for s in series},
+            title=str(row.get(key, "")),
+        ))
+    return "\n\n".join(charts)
+
+_POSITIONAL = {"fig10": "primitive", "fig11": "structure"}
+
+#: experiment kwargs that take sequences; scalar --arg values are wrapped.
+_SEQUENCE_PARAMS = frozenset({
+    "combos", "core_steps", "st_sizes", "latencies_ns", "intervals",
+    "datasets", "structures", "unit_steps", "core_counts", "mechanisms",
+})
+
+
+def _parse_value(text: str):
+    """Best-effort literal parsing for --arg values."""
+    if "," in text:
+        return tuple(_parse_value(part) for part in text.split(",") if part)
+    for caster in (int, float):
+        try:
+            return caster(text)
+        except ValueError:
+            continue
+    return text
+
+
+def _print_result(name: str, result) -> None:
+    if isinstance(result, dict):  # fig2-style {part: rows}
+        for part, rows in result.items():
+            print(format_table(rows, title=f"{name} [{part}]"))
+            print()
+    else:
+        print(format_table(result, title=name))
+
+
+def cmd_list(_args) -> int:
+    print(f"{'experiment':10s} description")
+    print("-" * 60)
+    for name, (_fn, description) in EXPERIMENTS.items():
+        print(f"{name:10s} {description}")
+    return 0
+
+
+def cmd_run(args) -> int:
+    name = args.experiment
+    if name not in EXPERIMENTS:
+        print(f"unknown experiment {name!r}; try `python -m repro list`",
+              file=sys.stderr)
+        return 2
+    fn, _description = EXPERIMENTS[name]
+    kwargs = {}
+    for item in args.arg or []:
+        if "=" not in item:
+            print(f"--arg expects key=value, got {item!r}", file=sys.stderr)
+            return 2
+        key, value = item.split("=", 1)
+        parsed = _parse_value(value)
+        if key in _SEQUENCE_PARAMS and not isinstance(parsed, tuple):
+            parsed = (parsed,)
+        kwargs[key] = parsed
+    if name in _POSITIONAL and _POSITIONAL[name] not in kwargs:
+        print(f"{name} needs --arg {_POSITIONAL[name]}=...", file=sys.stderr)
+        return 2
+    result = fn(**kwargs)
+    _print_result(name, result)
+    if getattr(args, "plot", False):
+        chart = render_plot(name, result)
+        if chart is None:
+            print(f"(no plot mapping for {name})", file=sys.stderr)
+        else:
+            print()
+            print(chart)
+    return 0
+
+
+def cmd_quickstart(_args) -> int:
+    from repro import NDPSystem, api, ndp_2_5d
+    from repro.sim import Compute
+
+    system = NDPSystem(ndp_2_5d(), mechanism="syncron")
+    lock = system.create_syncvar(name="cli_lock")
+    shared = {"counter": 0}
+
+    def worker():
+        for _ in range(10):
+            yield api.lock_acquire(lock)
+            shared["counter"] += 1
+            yield Compute(20)
+            yield api.lock_release(lock)
+
+    cycles = system.run_programs({c.core_id: worker() for c in system.cores})
+    print(f"{len(system.cores)} cores, {shared['counter']} lock-protected "
+          f"increments, {cycles} cycles, 0 lost updates")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SynCron (HPCA 2021) reproduction: run the paper's experiments.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list reproducible tables/figures")
+
+    run = sub.add_parser("run", help="run one experiment and print its table")
+    run.add_argument("experiment", help="e.g. fig11, table1, ext_rwlock")
+    run.add_argument("--arg", action="append", metavar="KEY=VALUE",
+                     help="experiment keyword argument (repeatable)")
+    run.add_argument("--plot", action="store_true",
+                     help="also draw a terminal chart in the figure's shape")
+
+    sub.add_parser("quickstart", help="run the README quickstart")
+    return parser
+
+
+def main(argv: List[str] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handler = {"list": cmd_list, "run": cmd_run, "quickstart": cmd_quickstart}
+    return handler[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,42 @@
+"""Directory-MESI coherence substrate and coherence-based locks.
+
+Used by the paper's motivational experiments: Table 1 (TTAS and
+hierarchical-ticket lock throughput on a NUMA CPU) and Fig. 2 (a stack
+protected by a MESI-based lock on the simulated NDP system).
+"""
+
+from repro.coherence.driver import (
+    CLoad,
+    CoherentCore,
+    CoherentSystem,
+    CRmw,
+    CStore,
+    Pause,
+)
+from repro.coherence.locks import (
+    HierarchicalTicketLock,
+    tas_acquire,
+    tas_release,
+    ticket_acquire,
+    ticket_release,
+    ttas_acquire,
+    ttas_release,
+)
+from repro.coherence.mesi import DirectoryMESI
+
+__all__ = [
+    "CLoad",
+    "CRmw",
+    "CStore",
+    "CoherentCore",
+    "CoherentSystem",
+    "DirectoryMESI",
+    "HierarchicalTicketLock",
+    "Pause",
+    "tas_acquire",
+    "tas_release",
+    "ticket_acquire",
+    "ticket_release",
+    "ttas_acquire",
+    "ttas_release",
+]

@@ -1,0 +1,115 @@
+"""Coherence-based lock algorithms (Table 1 / Fig. 2).
+
+Generator-based implementations over the MESI substrate:
+
+- :func:`tas_acquire` — the paper's ``mesi-lock``: test-and-set built on a
+  MESI directory protocol [Herlihy & Shavit].
+- :func:`ttas_acquire` — test-and-test-and-set [Rudolph & Segall], the TTAS
+  lock measured in Table 1.
+- :func:`ticket_acquire` — classic ticket lock (FIFO).
+- :class:`HierarchicalTicketLock` — the HTL of Table 1 [Mellor-Crummey &
+  Scott style, NUMA-aware]: a per-socket ticket lock nested under a global
+  ticket lock, so the lock prefers same-socket handoff.
+
+Each ``*_acquire`` is used with ``yield from`` inside a coherent program and
+returns when the lock is held; the matching ``*_release`` undoes it.
+"""
+
+from __future__ import annotations
+
+from repro.coherence.driver import CLoad, CRmw, CStore, Pause
+from repro.coherence.mesi import RMW_FAA, RMW_TAS
+
+#: spin backoff between re-checks of a contended lock word.
+SPIN_PAUSE_CYCLES = 30
+
+
+# ----------------------------------------------------------------------
+# Test-and-set ("mesi-lock")
+# ----------------------------------------------------------------------
+def tas_acquire(lock_addr: int):
+    """Spin on test-and-set: every attempt is an exclusive rmw (the line
+    ping-pongs among contenders — the Fig. 2 pathology)."""
+    while True:
+        old = yield CRmw(lock_addr, RMW_TAS)
+        if old == 0:
+            return
+        yield Pause(SPIN_PAUSE_CYCLES)
+
+
+def tas_release(lock_addr: int):
+    yield CStore(lock_addr, 0)
+
+
+# ----------------------------------------------------------------------
+# Test-and-test-and-set
+# ----------------------------------------------------------------------
+def ttas_acquire(lock_addr: int, max_backoff: int = 1024):
+    """Spin locally on a shared copy; only rmw when the lock looks free.
+
+    Exponential backoff after failed attempts, as the libslock TTAS does —
+    without it, every release triggers a thundering herd of rmw attempts.
+    """
+    backoff = SPIN_PAUSE_CYCLES
+    while True:
+        value = yield CLoad(lock_addr)
+        if value == 0:
+            old = yield CRmw(lock_addr, RMW_TAS)
+            if old == 0:
+                return
+            backoff = min(backoff * 2, max_backoff)
+        yield Pause(backoff)
+
+
+ttas_release = tas_release
+
+
+# ----------------------------------------------------------------------
+# Ticket lock
+# ----------------------------------------------------------------------
+def ticket_acquire(next_addr: int, serving_addr: int,
+                   backoff_per_waiter: int = 40):
+    """FIFO ticket lock: grab a ticket, spin until it is served.
+
+    Proportional backoff [Mellor-Crummey & Scott]: a waiter ``k`` positions
+    from the head sleeps ~``k`` handoff times between checks, so the
+    now-serving line is not hammered by the whole queue on every release.
+    """
+    ticket = yield CRmw(next_addr, RMW_FAA, operand=1)
+    while True:
+        serving = yield CLoad(serving_addr)
+        if serving == ticket:
+            return
+        ahead = max(ticket - serving, 1)
+        yield Pause(min(ahead * backoff_per_waiter, 20000))
+
+
+def ticket_release(serving_addr: int):
+    serving = yield CLoad(serving_addr)
+    yield CStore(serving_addr, serving + 1)
+
+
+# ----------------------------------------------------------------------
+# Hierarchical ticket lock (HTL)
+# ----------------------------------------------------------------------
+class HierarchicalTicketLock:
+    """NUMA-aware two-level ticket lock (Table 1's HTL).
+
+    Each socket has a local ticket lock; the holder of a socket's local lock
+    competes for the global ticket lock.  Handoffs therefore tend to stay
+    within a socket, reducing cross-socket line transfers.
+    """
+
+    def __init__(self, system, num_sockets: int):
+        self.global_next = system.alloc_line(0)
+        self.global_serving = system.alloc_line(0)
+        self.local_next = [system.alloc_line(s) for s in range(num_sockets)]
+        self.local_serving = [system.alloc_line(s) for s in range(num_sockets)]
+
+    def acquire(self, socket: int):
+        yield from ticket_acquire(self.local_next[socket], self.local_serving[socket])
+        yield from ticket_acquire(self.global_next, self.global_serving)
+
+    def release(self, socket: int):
+        yield from ticket_release(self.global_serving)
+        yield from ticket_release(self.local_serving[socket])

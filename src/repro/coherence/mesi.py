@@ -1,0 +1,198 @@
+"""Directory-based MESI coherence substrate (for Table 1 and Fig. 2).
+
+The paper's motivational experiments run coherence-based locks on (i) a real
+Xeon and (ii) a simulated NDP system with a MESI directory protocol
+("mesi-lock").  This module provides that substrate: a home-node directory
+per cache line, per-core MESI states, cache-to-cache transfers, invalidation
+rounds, and atomic read-modify-writes that serialize at the directory.
+
+It is a *latency oracle* in the same style as the rest of the simulator:
+:meth:`DirectoryMESI.access` resolves one coherent access, updates protocol
+state, reserves the line's directory slot (which is what turns a contended
+lock line into a hotspot), counts traffic, and returns ``(latency, value)``.
+
+Functional values are tracked per address so lock algorithms built on top
+(TAS/TTAS/ticket) actually enforce mutual exclusion in simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set, Tuple
+
+from repro.sim.config import SystemConfig
+from repro.sim.memmap import AddressMap
+from repro.sim.network import Interconnect
+from repro.sim.stats import SystemStats
+
+#: coherent request/response sizes (a header and a data line).
+CTRL_BYTES = 16
+
+# access kinds
+LOAD = "load"
+STORE = "store"
+RMW_TAS = "rmw_tas"          # test-and-set: returns old, sets 1
+RMW_FAA = "rmw_faa"          # fetch-and-add: returns old, adds operand
+RMW_SWAP = "rmw_swap"        # swap: returns old, writes operand
+
+RMW_KINDS = frozenset({RMW_TAS, RMW_FAA, RMW_SWAP})
+
+
+@dataclass
+class _LineState:
+    """Directory state for one cache line."""
+
+    #: cores holding the line in Shared state.
+    sharers: Set[int] = field(default_factory=set)
+    #: core holding the line in Modified/Exclusive state, if any.
+    owner: Optional[int] = None
+    #: the directory serializes transactions on a line.
+    busy_until: int = 0
+
+
+class DirectoryMESI:
+    """A full-map directory MESI protocol over the simulated interconnect."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        stats: SystemStats,
+        interconnect: Interconnect,
+        addrmap: AddressMap,
+        core_units: Dict[int, int],
+    ):
+        self.config = config
+        self.stats = stats
+        self.interconnect = interconnect
+        self.addrmap = addrmap
+        self.core_units = core_units  # core id -> unit (NUMA socket)
+        self._lines: Dict[int, _LineState] = {}
+        self._values: Dict[int, int] = {}
+        #: directory access cost (tag/protocol lookup at the home node).
+        self.directory_cycles = 6
+
+    # ------------------------------------------------------------------
+    def value(self, addr: int) -> int:
+        return self._values.get(addr, 0)
+
+    def set_value(self, addr: int, value: int) -> None:
+        self._values[addr] = value
+
+    def _line(self, addr: int) -> _LineState:
+        line_id = self.addrmap.line_of(addr)
+        state = self._lines.get(line_id)
+        if state is None:
+            state = _LineState()
+            self._lines[line_id] = state
+        return state
+
+    # ------------------------------------------------------------------
+    def access(self, core_id: int, addr: int, kind: str, now: int,
+               operand: int = 1) -> Tuple[int, int]:
+        """Resolve one coherent access; returns (latency, value).
+
+        For loads, ``value`` is the loaded value; for stores, the stored
+        value; for rmw kinds, the *old* value (fetch semantics).
+        """
+        line = self._line(addr)
+        unit = self.core_units[core_id]
+
+        if kind == LOAD and self._is_local_hit(line, core_id, write=False):
+            return self.config.l1_hit_cycles, self._values.get(addr, 0)
+        if kind == STORE and line.owner == core_id:
+            self._values[addr] = operand
+            return self.config.l1_hit_cycles, operand
+        if kind in RMW_KINDS and line.owner == core_id:
+            # Exclusive rmw still pays the atomic-execution cost.
+            old = self._apply_rmw(addr, kind, operand)
+            return self.config.l1_hit_cycles + 2, old
+
+        return self._directory_transaction(line, core_id, unit, addr, kind,
+                                           now, operand)
+
+    def _is_local_hit(self, line: _LineState, core_id: int, write: bool) -> bool:
+        if write:
+            return line.owner == core_id
+        return core_id in line.sharers or line.owner == core_id
+
+    # ------------------------------------------------------------------
+    def _directory_transaction(self, line, core_id, unit, addr, kind,
+                               now, operand) -> Tuple[int, int]:
+        """A miss: go to the home directory, serialize, fetch/invalidate."""
+        home = self.addrmap.unit_of(addr)
+        cache_line = self.config.cache_line_bytes
+
+        # Request to the home directory.
+        latency = self.interconnect.transfer_latency(unit, home, now, CTRL_BYTES)
+        # Serialize at the directory: contended lines queue here (hotspot).
+        start = max(now + latency, line.busy_until)
+        latency = (start - now) + self.directory_cycles
+        want_exclusive_next = kind != LOAD
+        # The directory pipelines read-sharing requests (occupancy only);
+        # ownership transfers hold the line longer (protocol serialization).
+        line.busy_until = start + self.directory_cycles + (
+            24 if want_exclusive_next else 0
+        )
+
+        want_exclusive = kind != LOAD
+        t = now + latency
+
+        if line.owner is not None and line.owner != core_id:
+            # Fetch from the current owner's cache (forward + transfer).
+            owner_unit = self.core_units[line.owner]
+            latency += self.interconnect.transfer_latency(home, owner_unit, t, CTRL_BYTES)
+            latency += self.interconnect.transfer_latency(
+                owner_unit, unit, now + latency, cache_line
+            )
+            if want_exclusive:
+                line.owner = None  # invalidated at the old owner
+            else:
+                line.sharers.add(line.owner)
+                line.owner = None
+        else:
+            # Fetch from home memory (no DRAM model here: the directory sits
+            # at the home node's cache/memory controller; a flat access cost
+            # stands in for the fill).
+            latency += self.interconnect.transfer_latency(home, unit, t, cache_line)
+
+        if want_exclusive and line.sharers:
+            # Invalidation round to every sharer, overlapped: pay the worst
+            # sharer round trip, count traffic for each.
+            worst = 0
+            for sharer in list(line.sharers):
+                if sharer == core_id:
+                    continue
+                s_unit = self.core_units[sharer]
+                inv = self.interconnect.transfer_latency(home, s_unit, t, CTRL_BYTES)
+                ack = self.interconnect.transfer_latency(s_unit, home, t + inv, CTRL_BYTES)
+                worst = max(worst, inv + ack)
+            line.sharers.clear()
+            latency += worst
+
+        # New state + value.
+        if want_exclusive:
+            line.owner = core_id
+            line.sharers.discard(core_id)
+        else:
+            line.sharers.add(core_id)
+
+        if kind == LOAD:
+            value = self._values.get(addr, 0)
+        elif kind == STORE:
+            self._values[addr] = operand
+            value = operand
+        else:
+            value = self._apply_rmw(addr, kind, operand)
+        return latency, value
+
+    def _apply_rmw(self, addr: int, kind: str, operand: int) -> int:
+        old = self._values.get(addr, 0)
+        if kind == RMW_TAS:
+            self._values[addr] = 1
+        elif kind == RMW_FAA:
+            self._values[addr] = old + operand
+        elif kind == RMW_SWAP:
+            self._values[addr] = operand
+        else:  # pragma: no cover - guarded by caller
+            raise ValueError(f"unknown rmw kind {kind!r}")
+        return old

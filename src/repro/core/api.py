@@ -1,0 +1,126 @@
+"""SynCron's programming interface (paper Table 2).
+
+These helpers build the operation objects that simulated core programs
+yield; they are the moral equivalent of the paper's API calls compiled to
+``req_sync`` / ``req_async`` instructions (Sec. 4.1):
+
+- acquire-type semantics (``lock_acquire``, ``barrier_wait_*``, ``sem_wait``,
+  ``cond_wait``) map to the blocking ``req_sync`` instruction, which commits
+  when the ACK/grant message returns — providing the ACQUIRE fence of
+  release consistency;
+- release-type semantics (``lock_release``, ``sem_post``, ``cond_signal``,
+  ``cond_broadcast``) map to ``req_async``, which commits once the message
+  is issued — the RELEASE fence (it is only issued after all previous
+  instructions complete, which our in-order core model guarantees by
+  construction).
+
+Example::
+
+    def worker(system, lock, data_addr):
+        yield api.lock_acquire(lock)
+        yield Load(data_addr, cacheable=False)
+        yield Store(data_addr, cacheable=False)
+        yield api.lock_release(lock)
+
+Variables come from ``NDPSystem.create_syncvar()`` (the driver-side
+``create_syncvar()`` of Table 2) and are destroyed with
+``NDPSystem.destroy_syncvar()``.
+"""
+
+from __future__ import annotations
+
+from repro.sim.program import (
+    BARRIER_WAIT_ACROSS_UNITS,
+    BARRIER_WAIT_WITHIN_UNIT,
+    COND_BROADCAST,
+    COND_SIGNAL,
+    COND_WAIT,
+    LOCK_ACQUIRE,
+    LOCK_RELEASE,
+    RW_READ_ACQUIRE,
+    RW_READ_RELEASE,
+    RW_WRITE_ACQUIRE,
+    RW_WRITE_RELEASE,
+    SEM_POST,
+    SEM_WAIT,
+    SyncAsyncOp,
+    SyncOp,
+)
+from repro.sim.syncif import SyncVar
+
+
+def lock_acquire(lock: SyncVar) -> SyncOp:
+    """Blocking lock acquisition (``req_sync``)."""
+    return SyncOp(LOCK_ACQUIRE, lock)
+
+
+def lock_release(lock: SyncVar) -> SyncAsyncOp:
+    """Lock release (``req_async``; commits at issue)."""
+    return SyncAsyncOp(LOCK_RELEASE, lock)
+
+
+def barrier_wait_within_unit(barrier: SyncVar, initial_cores: int) -> SyncOp:
+    """Barrier among ``initial_cores`` cores of one NDP unit."""
+    if initial_cores < 1:
+        raise ValueError("a barrier needs at least one participant")
+    return SyncOp(BARRIER_WAIT_WITHIN_UNIT, barrier, info=initial_cores)
+
+
+def barrier_wait_across_units(barrier: SyncVar, initial_cores: int) -> SyncOp:
+    """Barrier among ``initial_cores`` cores spanning NDP units."""
+    if initial_cores < 1:
+        raise ValueError("a barrier needs at least one participant")
+    return SyncOp(BARRIER_WAIT_ACROSS_UNITS, barrier, info=initial_cores)
+
+
+def sem_wait(semaphore: SyncVar, initial_resources: int) -> SyncOp:
+    """P() on a counting semaphore with ``initial_resources`` units."""
+    if initial_resources < 0:
+        raise ValueError("initial resources must be non-negative")
+    return SyncOp(SEM_WAIT, semaphore, info=initial_resources)
+
+
+def sem_post(semaphore: SyncVar) -> SyncAsyncOp:
+    """V() on a counting semaphore."""
+    return SyncAsyncOp(SEM_POST, semaphore)
+
+
+def cond_wait(cond: SyncVar, lock: SyncVar) -> SyncOp:
+    """Wait on a condition variable; atomically releases ``lock`` and
+    re-acquires it before returning (pthread semantics)."""
+    return SyncOp(COND_WAIT, cond, info=lock)
+
+
+def cond_signal(cond: SyncVar) -> SyncAsyncOp:
+    """Wake one waiter (lost if nobody waits)."""
+    return SyncAsyncOp(COND_SIGNAL, cond)
+
+
+def cond_broadcast(cond: SyncVar) -> SyncAsyncOp:
+    """Wake every waiter."""
+    return SyncAsyncOp(COND_BROADCAST, cond)
+
+
+def rw_read_acquire(rwlock: SyncVar) -> SyncOp:
+    """Shared (reader) acquisition of a reader-writer lock (``req_sync``).
+
+    Reader-writer locks are SynCron's generality extension beyond the
+    paper's four primitives (LCU [146] supports them natively, Sec. 4.5);
+    the grant policy is fair FIFO: a waiting writer blocks later readers.
+    """
+    return SyncOp(RW_READ_ACQUIRE, rwlock)
+
+
+def rw_read_release(rwlock: SyncVar) -> SyncAsyncOp:
+    """Release a shared (reader) hold (``req_async``)."""
+    return SyncAsyncOp(RW_READ_RELEASE, rwlock)
+
+
+def rw_write_acquire(rwlock: SyncVar) -> SyncOp:
+    """Exclusive (writer) acquisition of a reader-writer lock."""
+    return SyncOp(RW_WRITE_ACQUIRE, rwlock)
+
+
+def rw_write_release(rwlock: SyncVar) -> SyncAsyncOp:
+    """Release an exclusive (writer) hold (``req_async``)."""
+    return SyncAsyncOp(RW_WRITE_RELEASE, rwlock)

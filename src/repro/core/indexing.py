@@ -1,0 +1,66 @@
+"""Indexing counters (paper Sec. 4.2.3).
+
+When the ST is full, variables are serviced via main memory.  Each SE keeps a
+small array of counters (256 in the evaluated configuration) indexed by the
+least-significant bits of the variable's (line) address:
+
+- an acquire-type message for a variable with no ST entry and a full ST
+  increments the variable's counter;
+- a release-type message for a memory-serviced variable decrements it;
+- a variable is considered "currently serviced via memory" while its counter
+  is greater than zero.
+
+Different variables may alias to the same counter; aliasing is safe for
+correctness (a variable is conservatively treated as memory-serviced) but can
+cost performance — exactly the behaviour the paper describes.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+
+class IndexingCounters:
+    """The per-SE counter array."""
+
+    def __init__(self, num_counters: int = 256, line_bytes: int = 64):
+        if num_counters < 1:
+            raise ValueError("need at least one counter")
+        self.num_counters = num_counters
+        self.line_bytes = line_bytes
+        self._counters: List[int] = [0] * num_counters
+        self.aliased_hits = 0  # diagnostics: nonzero counter lookups
+
+    # ------------------------------------------------------------------
+    def index_of(self, addr: int) -> int:
+        """8 LSBs of the line address in the evaluated config (Table 5)."""
+        return (addr // self.line_bytes) % self.num_counters
+
+    def increment(self, addr: int) -> int:
+        idx = self.index_of(addr)
+        self._counters[idx] += 1
+        return self._counters[idx]
+
+    def decrement(self, addr: int) -> int:
+        idx = self.index_of(addr)
+        if self._counters[idx] == 0:
+            raise ValueError(
+                f"indexing counter {idx} underflow (addr {addr:#x}); "
+                "release without matching acquire"
+            )
+        self._counters[idx] -= 1
+        return self._counters[idx]
+
+    def is_memory_serviced(self, addr: int) -> bool:
+        """True while the variable (or an alias) is serviced via memory."""
+        nonzero = self._counters[self.index_of(addr)] > 0
+        if nonzero:
+            self.aliased_hits += 1
+        return nonzero
+
+    def value(self, addr: int) -> int:
+        return self._counters[self.index_of(addr)]
+
+    @property
+    def total_active(self) -> int:
+        return sum(self._counters)

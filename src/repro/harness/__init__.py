@@ -1,0 +1,7 @@
+"""Experiment harness: one function per paper table/figure + reporting."""
+
+from repro.harness import experiments, motivation
+from repro.harness.reporting import format_table, geomean, summarize_speedups
+
+__all__ = ["experiments", "motivation", "format_table", "geomean",
+           "summarize_speedups"]

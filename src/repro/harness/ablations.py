@@ -1,0 +1,253 @@
+"""Extension experiments beyond the paper's own figures.
+
+Each function quantifies one of the repository's extension features against
+the paper's mechanisms, returning rows in the same shape as
+:mod:`repro.harness.experiments`:
+
+- :func:`spin_baselines` — the Sec. 2.2.1 argument, measured: remote-atomics
+  spinning and Lamport-bakery software synchronization vs the paper's
+  message-passing schemes under a contended lock.
+- :func:`overflow_target_sweep` — the Sec. 4.6 conventional-system
+  adaptation: ST-overflow state in DRAM vs in a shared cache.
+- :func:`rwlock_read_ratio` — the reader-writer lock extension: speedup
+  over a plain mutex as the read share of the operation mix grows.
+- :func:`fairness_sweep` — the Sec. 4.4.2 fairness threshold: throughput
+  cost vs cross-unit grant spread.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.core import api
+from repro.sim.config import DDR4, ndp_2_5d
+from repro.sim.program import Compute
+from repro.sim.system import NDPSystem
+from repro.workloads.base import run_workload, scaled
+from repro.workloads.datastructures import BSTFineGrainedWorkload, StackWorkload
+from repro.workloads.microbench import PrimitiveMicrobench
+from repro.workloads.rwbench import RWLockMicrobench
+
+#: mechanisms the spin-baseline comparison covers, slowest first.
+SPIN_COMPARISON = ("bakery", "rmw_spin", "central", "hier", "syncron", "ideal")
+
+
+def spin_baselines(
+    core_steps: Sequence[int] = (15, 30, 45, 60),
+    mechanisms: Sequence[str] = SPIN_COMPARISON,
+    interval: int = 200,
+    rounds: int = None,
+) -> List[Dict]:
+    """Contended-lock throughput of shared-memory spinning vs messaging.
+
+    The Sec. 2.2.1 claims, quantified: bakery pays O(N) loads per retry,
+    remote atomics hammer the home unit, and both lose to hierarchical
+    message passing as soon as multiple units contend.
+    """
+    rounds = rounds if rounds is not None else scaled(15)
+    rows = []
+    for cores in core_steps:
+        units = max(cores // 15, 1)
+        config = ndp_2_5d(num_units=units)
+        row: Dict[str, object] = {"cores": cores, "units": units}
+        for mech in mechanisms:
+            metrics = run_workload(
+                lambda: PrimitiveMicrobench("lock", interval, rounds=rounds),
+                config, mech,
+            )
+            row[mech] = metrics.ops_per_second / 1e6
+            row[f"{mech}_global_msgs"] = metrics.stats["sync_messages_global"]
+        rows.append(row)
+    return rows
+
+
+def overflow_target_sweep(
+    st_sizes: Sequence[int] = (8, 16, 32, 64),
+    targets: Sequence[str] = ("memory", "shared_cache"),
+) -> List[Dict]:
+    """BST_FG throughput per overflow target and ST size (Sec. 4.6).
+
+    Run on the DDR4 (conventional-memory) configuration, where the shared
+    cache's latency advantage over a DRAM row access is what the adaptation
+    banks on.
+    """
+    rows = []
+    for st in st_sizes:
+        row: Dict[str, object] = {"st_entries": st}
+        for target in targets:
+            config = ndp_2_5d(st_entries=st, overflow_target=target, memory=DDR4)
+            metrics = run_workload(BSTFineGrainedWorkload, config, "syncron")
+            row[target] = metrics.ops_per_ms
+            row[f"{target}_overflow_pct"] = metrics.overflow_request_pct
+        rows.append(row)
+    return rows
+
+
+def rwlock_read_ratio(
+    read_pcts: Sequence[int] = (0, 50, 90, 100),
+    mechanisms: Sequence[str] = ("syncron", "rmw_spin", "ideal"),
+    rounds: int = None,
+) -> List[Dict]:
+    """Reader-writer lock vs plain mutex across read ratios.
+
+    The ``mutex`` column runs the same operation mix under a plain lock
+    (every operation exclusive); the rw columns grant readers concurrently.
+    The gap should widen as the read share grows.
+    """
+    rounds = rounds if rounds is not None else scaled(15)
+    config = ndp_2_5d()
+    rows = []
+    for read_pct in read_pcts:
+        row: Dict[str, object] = {"read_pct": read_pct}
+        mutex = run_workload(
+            lambda: RWLockMicrobench(
+                read_pct=read_pct, rounds=rounds, mutex_mode=True
+            ),
+            config, "syncron",
+        )
+        row["mutex"] = mutex.ops_per_second / 1e6
+        for mech in mechanisms:
+            metrics = run_workload(
+                lambda: RWLockMicrobench(read_pct=read_pct, rounds=rounds),
+                config, mech,
+            )
+            row[mech] = metrics.ops_per_second / 1e6
+        rows.append(row)
+    return rows
+
+
+def unionfind_connectivity(
+    datasets: Sequence[str] = ("wk", "sl"),
+    mechanisms: Sequence[str] = ("syncron", "ideal"),
+    edge_limit: int = None,
+) -> List[Dict]:
+    """Union-find edge-stream connectivity: rw lock vs mutex per dataset.
+
+    The realistic rw-lock application: finds are read-locked pointer
+    chases, unions are write-locked mutations, and dense real streams are
+    read-dominated because most edges land inside an existing component.
+    """
+    from repro.workloads.unionfind import UnionFindWorkload
+
+    edge_limit = edge_limit if edge_limit is not None else scaled(300)
+    config = ndp_2_5d()
+    rows = []
+    for dataset in datasets:
+        row: Dict[str, object] = {"dataset": dataset}
+        for mech in mechanisms:
+            rw = run_workload(
+                lambda: UnionFindWorkload(dataset, edge_limit=edge_limit),
+                config, mech,
+            )
+            mutex = run_workload(
+                lambda: UnionFindWorkload(dataset, mutex_mode=True,
+                                          edge_limit=edge_limit),
+                config, mech,
+            )
+            row[f"{mech}_rw_ops_ms"] = rw.ops_per_ms
+            row[f"{mech}_mutex_ops_ms"] = mutex.ops_per_ms
+            row[f"{mech}_rw_speedup"] = mutex.cycles / rw.cycles
+        rows.append(row)
+    return rows
+
+
+def fairness_sweep(
+    thresholds: Sequence[int] = (0, 1, 4, 16),
+    rounds: int = None,
+) -> List[Dict]:
+    """Throughput vs cross-unit fairness as the Sec. 4.4.2 threshold varies.
+
+    ``unit_finish_spread`` is the gap between the first and last unit to
+    finish (in cycles): without fairness transfers, the lock's home unit
+    hogs it and remote units finish late.
+    """
+    rounds = rounds if rounds is not None else scaled(20)
+    rows = []
+    for threshold in thresholds:
+        config = ndp_2_5d(num_units=2, fairness_threshold=threshold)
+        system = NDPSystem(config, mechanism="syncron")
+        lock = system.create_syncvar(unit=0, name="fair")
+        state = {"count": 0}
+
+        def worker():
+            for _ in range(rounds):
+                yield api.lock_acquire(lock)
+                state["count"] += 1
+                yield Compute(40)
+                yield api.lock_release(lock)
+
+        makespan = system.run_programs(
+            {core.core_id: worker() for core in system.cores}
+        )
+        unit_finish = {
+            unit: max(
+                core.finish_time for core in system.cores_in_unit(unit)
+            )
+            for unit in range(config.num_units)
+        }
+        rows.append({
+            "threshold": threshold,
+            "makespan": makespan,
+            "unit_finish_spread": max(unit_finish.values()) - min(unit_finish.values()),
+            "acquires": state["count"],
+        })
+    return rows
+
+
+def smt_sweep(
+    thread_counts: Sequence[int] = (1, 2, 4),
+    rounds_per_core: int = 48,
+    mechanisms: Sequence[str] = ("syncron", "ideal"),
+) -> List[Dict]:
+    """Hardware thread contexts per core (Sec. 4's SMT note), measured.
+
+    Fixed total work per *physical* core, split across its contexts:
+    makespan should drop as contexts overlap their synchronization and
+    memory stalls, saturating once the shared pipeline (1 IPC) becomes
+    the bottleneck.
+    """
+    rows = []
+    for threads in thread_counts:
+        config = ndp_2_5d(num_units=2, threads_per_core=threads)
+        row: Dict[str, object] = {"threads_per_core": threads}
+        for mech in mechanisms:
+            system = NDPSystem(config, mechanism=mech)
+            lock = system.create_syncvar(unit=0, name="smt")
+            rounds = max(rounds_per_core // threads, 1)
+
+            def worker():
+                for _ in range(rounds):
+                    yield api.lock_acquire(lock)
+                    yield Compute(5)
+                    yield api.lock_release(lock)
+                    yield Compute(120)
+
+            makespan = system.run_programs(
+                {core.core_id: worker() for core in system.cores}
+            )
+            row[mech] = makespan
+        rows.append(row)
+    return rows
+
+
+def se_vs_server_latency(
+    se_cycles: Sequence[int] = (3, 12, 24, 48, 96),
+) -> List[Dict]:
+    """How slow can the SE get before it degenerates into Hier?
+
+    Sweeps the SPU's per-message service time on a contended stack and
+    reports where SynCron's advantage over the software server disappears —
+    the ablation DESIGN.md calls out for the paper's 12-cycle choice.
+    """
+    rows = []
+    for cycles in se_cycles:
+        config = ndp_2_5d(se_service_se_cycles=cycles)
+        syncron = run_workload(StackWorkload, config, "syncron")
+        hier = run_workload(StackWorkload, config, "hier")
+        rows.append({
+            "se_service_cycles": cycles,
+            "syncron_ops_ms": syncron.ops_per_ms,
+            "hier_ops_ms": hier.ops_per_ms,
+            "syncron_vs_hier": hier.cycles / syncron.cycles,
+        })
+    return rows

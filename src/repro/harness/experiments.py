@@ -1,0 +1,410 @@
+"""Per-figure experiment reproductions (evaluation Section 6).
+
+Every public function regenerates one table or figure of the paper and
+returns structured rows; ``benchmarks/`` wraps each in a pytest-benchmark
+target and prints the same series the paper plots.  Absolute numbers differ
+from the paper (different simulator, scaled-down inputs — see
+EXPERIMENTS.md); the *shape* (who wins, crossover positions) is the
+reproduction target.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.sim.config import MEMORY_TECHNOLOGIES, SystemConfig, ndp_2_5d
+from repro.workloads.base import RunMetrics, run_workload, scaled
+from repro.workloads.datastructures import (
+    ALL_STRUCTURES,
+    BSTFineGrainedWorkload,
+    PriorityQueueWorkload,
+    QueueWorkload,
+    StackWorkload,
+)
+from repro.workloads.graphs import ALL_KERNELS, bfs_partition, load_dataset, random_partition
+from repro.workloads.graphs.partition import edge_cut
+from repro.workloads.microbench import PRIMITIVES, PrimitiveMicrobench
+from repro.workloads.timeseries import TimeSeriesWorkload
+
+#: the mechanisms Figs. 10-19 compare.
+MECHANISMS = ("central", "hier", "syncron", "ideal")
+
+#: the paper's 26 application-input combinations (Fig. 12).
+GRAPH_DATASETS = ("wk", "sl", "sx", "co")
+TS_DATASETS = ("air", "pow")
+APP_INPUTS: List[str] = [
+    f"{kernel}.{dataset}"
+    for kernel in ("bfs", "cc", "sssp", "pr", "tf", "tc")
+    for dataset in GRAPH_DATASETS
+] + [f"ts.{dataset}" for dataset in TS_DATASETS]
+
+
+def _app_factory(combo: str) -> Callable:
+    """Zero-arg factory for an application-input combination."""
+    app, dataset = combo.split(".")
+    if app == "ts":
+        return lambda: TimeSeriesWorkload(dataset)
+    kernel_cls = ALL_KERNELS[app]
+    return lambda: kernel_cls(dataset=dataset)
+
+
+def _units_config(num_units: int, base: Optional[SystemConfig] = None) -> SystemConfig:
+    cfg = base or ndp_2_5d()
+    return cfg.with_(num_units=num_units)
+
+
+# ======================================================================
+# Fig. 10 — synchronization primitives vs instruction interval
+# ======================================================================
+FIG10_INTERVALS = {
+    "lock": (50, 100, 200, 400, 1000, 2000, 5000),
+    "barrier": (20, 50, 100, 200, 500, 1000, 2000),
+    "semaphore": (100, 200, 400, 1000, 2000, 5000, 10000),
+    "condvar": (200, 400, 1000, 2000, 5000, 10000, 50000),
+}
+
+
+def fig10(primitive: str, intervals: Optional[Sequence[int]] = None,
+          mechanisms: Sequence[str] = MECHANISMS,
+          rounds: Optional[int] = None) -> List[Dict]:
+    """Speedup (vs Central) of each mechanism at each interval."""
+    if primitive not in PRIMITIVES:
+        raise ValueError(f"primitive must be one of {PRIMITIVES}")
+    intervals = intervals or FIG10_INTERVALS[primitive]
+    rounds = rounds if rounds is not None else scaled(25)
+    config = ndp_2_5d()
+    rows = []
+    for interval in intervals:
+        row = {"interval": interval}
+        runs = {
+            mech: run_workload(
+                lambda: PrimitiveMicrobench(primitive, interval, rounds=rounds),
+                config, mech,
+            )
+            for mech in mechanisms
+        }
+        base = runs[mechanisms[0]].cycles
+        for mech, metrics in runs.items():
+            row[mech] = base / metrics.cycles
+            row[f"{mech}_cycles"] = metrics.cycles
+        rows.append(row)
+    return rows
+
+
+# ======================================================================
+# Fig. 11 — data-structure throughput vs core count
+# ======================================================================
+def fig11(structure: str, core_steps: Sequence[int] = (15, 30, 45, 60),
+          mechanisms: Sequence[str] = MECHANISMS) -> List[Dict]:
+    """Throughput (Mops/s) per mechanism as NDP units are added."""
+    cls = ALL_STRUCTURES[structure]
+    rows = []
+    for cores in core_steps:
+        units = max(cores // 15, 1)
+        config = _units_config(units)
+        row = {"cores": cores, "units": units}
+        for mech in mechanisms:
+            metrics = run_workload(cls, config, mech)
+            row[mech] = metrics.ops_per_second / 1e6
+            row[f"{mech}_cycles"] = metrics.cycles
+        rows.append(row)
+    return rows
+
+
+# ======================================================================
+# Fig. 12 — real applications, speedup over Central
+# ======================================================================
+def fig12(combos: Sequence[str] = tuple(APP_INPUTS),
+          mechanisms: Sequence[str] = MECHANISMS) -> List[Dict]:
+    config = ndp_2_5d()
+    rows = []
+    for combo in combos:
+        factory = _app_factory(combo)
+        runs = {mech: run_workload(factory, config, mech) for mech in mechanisms}
+        base = runs["central"].cycles if "central" in runs else runs[mechanisms[0]].cycles
+        row = {"app": combo}
+        for mech, metrics in runs.items():
+            row[mech] = base / metrics.cycles
+            row[f"{mech}_cycles"] = metrics.cycles
+        rows.append(row)
+    return rows
+
+
+def headline_summary(rows: List[Dict]) -> Dict[str, float]:
+    """The Sec. 6.1.3 headline numbers from fig12-style rows."""
+    import statistics
+
+    def geo(values):
+        return statistics.geometric_mean(values) if values else float("nan")
+
+    return {
+        "syncron_vs_central": geo([r["syncron"] / r["central"] for r in rows]),
+        "syncron_vs_hier": geo([r["syncron"] / r["hier"] for r in rows]),
+        "syncron_overhead_vs_ideal_pct": 100.0 * (
+            geo([r["ideal"] / r["syncron"] for r in rows]) - 1.0
+        ),
+    }
+
+
+# ======================================================================
+# Fig. 13 — SynCron scalability with NDP units
+# ======================================================================
+def fig13(combos: Sequence[str] = ("bfs.sl", "cc.sx", "sssp.co", "pr.wk",
+                                   "tf.sl", "tc.sx", "ts.air", "ts.pow"),
+          unit_steps: Sequence[int] = (1, 2, 3, 4)) -> List[Dict]:
+    rows = []
+    for combo in combos:
+        factory = _app_factory(combo)
+        cycles = {}
+        for units in unit_steps:
+            metrics = run_workload(factory, _units_config(units), "syncron")
+            cycles[units] = metrics.cycles
+        base = cycles[unit_steps[0]]
+        row = {"app": combo}
+        for units in unit_steps:
+            row[f"{units}_units"] = base / cycles[units]
+        rows.append(row)
+    return rows
+
+
+# ======================================================================
+# Fig. 14 / Fig. 15 — energy breakdown and data movement
+# ======================================================================
+def fig14(combos: Sequence[str] = ("bfs.sl", "cc.sx", "sssp.co", "pr.wk",
+                                   "tf.sl", "tc.sx", "ts.air", "ts.pow"),
+          mechanisms: Sequence[str] = MECHANISMS) -> List[Dict]:
+    """Energy by component, normalized to Central's total per app."""
+    config = ndp_2_5d()
+    rows = []
+    for combo in combos:
+        factory = _app_factory(combo)
+        runs = {mech: run_workload(factory, config, mech) for mech in mechanisms}
+        baseline = runs["central"].energy
+        row = {"app": combo}
+        for mech, metrics in runs.items():
+            row[mech] = metrics.energy.normalized(baseline)
+        rows.append(row)
+    return rows
+
+
+def fig15(combos: Sequence[str] = ("bfs.sl", "cc.sx", "sssp.co", "pr.wk",
+                                   "tf.sl", "tc.sx", "ts.air", "ts.pow"),
+          mechanisms: Sequence[str] = MECHANISMS) -> List[Dict]:
+    """Bytes moved inside/across NDP units, normalized to Central."""
+    config = ndp_2_5d()
+    rows = []
+    for combo in combos:
+        factory = _app_factory(combo)
+        runs = {mech: run_workload(factory, config, mech) for mech in mechanisms}
+        base_total = runs["central"].total_bytes or 1
+        row = {"app": combo}
+        for mech, metrics in runs.items():
+            row[mech] = {
+                "inside": metrics.bytes_inside_units / base_total,
+                "across": metrics.bytes_across_units / base_total,
+                "total": metrics.total_bytes / base_total,
+            }
+        rows.append(row)
+    return rows
+
+
+# ======================================================================
+# Fig. 16 / Fig. 17 — sensitivity to inter-unit link latency
+# ======================================================================
+FIG16_LATENCIES_NS = (40, 100, 200, 500, 1000, 2000, 4500, 9000)
+
+
+def fig16(structures: Sequence[str] = ("stack", "priority_queue"),
+          latencies_ns: Sequence[float] = FIG16_LATENCIES_NS,
+          mechanisms: Sequence[str] = MECHANISMS) -> List[Dict]:
+    rows = []
+    for structure in structures:
+        cls = ALL_STRUCTURES[structure]
+        for latency in latencies_ns:
+            config = ndp_2_5d(link_latency_ns=float(latency))
+            row = {"structure": structure, "latency_ns": latency}
+            for mech in mechanisms:
+                metrics = run_workload(cls, config, mech)
+                row[mech] = metrics.ops_per_second / 1e6
+            rows.append(row)
+    return rows
+
+
+def fig17(latencies_ns: Sequence[float] = (40, 100, 200, 500),
+          mechanisms: Sequence[str] = ("central", "hier", "syncron"),
+          combo: str = "pr.wk") -> List[Dict]:
+    """Slowdown vs Ideal (lower is better), per link latency."""
+    rows = []
+    for latency in latencies_ns:
+        config = ndp_2_5d(link_latency_ns=float(latency))
+        factory = _app_factory(combo)
+        ideal = run_workload(factory, config, "ideal")
+        row = {"latency_ns": latency, "ideal_cycles": ideal.cycles}
+        for mech in mechanisms:
+            metrics = run_workload(factory, config, mech)
+            row[mech] = metrics.cycles / ideal.cycles
+        rows.append(row)
+    return rows
+
+
+# ======================================================================
+# Fig. 18 — memory technologies
+# ======================================================================
+def fig18(combos: Sequence[str] = ("cc.wk", "pr.wk", "ts.pow"),
+          mechanisms: Sequence[str] = MECHANISMS) -> List[Dict]:
+    rows = []
+    for combo in combos:
+        factory = _app_factory(combo)
+        for memory_name, timing in MEMORY_TECHNOLOGIES.items():
+            config = ndp_2_5d().with_(memory=timing)
+            runs = {mech: run_workload(factory, config, mech) for mech in mechanisms}
+            base = runs["central"].cycles
+            row = {"app": combo, "memory": memory_name}
+            for mech, metrics in runs.items():
+                row[mech] = base / metrics.cycles
+            rows.append(row)
+    return rows
+
+
+# ======================================================================
+# Fig. 19 — data placement (METIS-substitute partitioning)
+# ======================================================================
+def fig19(datasets: Sequence[str] = GRAPH_DATASETS,
+          mechanisms: Sequence[str] = MECHANISMS) -> List[Dict]:
+    from repro.workloads.graphs.kernels import PageRankWorkload
+
+    config = ndp_2_5d()
+    rows = []
+    for dataset in datasets:
+        graph = load_dataset(dataset)
+        cut_random = edge_cut(graph, random_partition(graph, config.num_units, seed=7))
+        cut_metis = edge_cut(graph, bfs_partition(graph, config.num_units))
+        for label, partitioner in (
+            ("random", lambda g, parts: random_partition(g, parts, seed=7)),
+            ("metis", bfs_partition),
+        ):
+            def factory(partitioner=partitioner):
+                return PageRankWorkload(dataset=dataset, partitioner=partitioner)
+
+            runs = {mech: run_workload(factory, config, mech) for mech in mechanisms}
+            base = runs["central"].cycles
+            row = {
+                "dataset": dataset,
+                "partitioning": label,
+                "edge_cut_random": cut_random,
+                "edge_cut_metis": cut_metis,
+            }
+            for mech, metrics in runs.items():
+                row[mech] = base / metrics.cycles
+            row["max_st_occupancy_pct"] = runs["syncron"].st_occupancy_max_pct
+            rows.append(row)
+    return rows
+
+
+# ======================================================================
+# Fig. 20 / Fig. 21 — hierarchical vs flat
+# ======================================================================
+def fig20(combos: Optional[Sequence[str]] = None) -> List[Dict]:
+    """SynCron speedup normalized to flat on graph workloads."""
+    combos = combos or [c for c in APP_INPUTS if not c.startswith("ts.")]
+    config = ndp_2_5d()
+    rows = []
+    for combo in combos:
+        factory = _app_factory(combo)
+        flat = run_workload(factory, config, "syncron_flat")
+        hier = run_workload(factory, config, "syncron")
+        rows.append({
+            "app": combo,
+            "syncron_vs_flat": flat.cycles / hier.cycles,
+        })
+    return rows
+
+
+def fig21a(latencies_ns: Sequence[float] = (40, 100, 200, 500)) -> List[Dict]:
+    rows = []
+    for dataset in TS_DATASETS:
+        for latency in latencies_ns:
+            config = ndp_2_5d(link_latency_ns=float(latency))
+            factory = lambda: TimeSeriesWorkload(dataset)
+            flat = run_workload(factory, config, "syncron_flat")
+            hier = run_workload(factory, config, "syncron")
+            rows.append({
+                "app": f"ts.{dataset}",
+                "latency_ns": latency,
+                "syncron_vs_flat": flat.cycles / hier.cycles,
+            })
+    return rows
+
+
+def fig21b(latencies_ns: Sequence[float] = (40, 100, 200, 500),
+           core_counts: Sequence[int] = (30, 60)) -> List[Dict]:
+    rows = []
+    for cores in core_counts:
+        units = cores // 15
+        for latency in latencies_ns:
+            config = ndp_2_5d(num_units=units, link_latency_ns=float(latency))
+            flat = run_workload(QueueWorkload, config, "syncron_flat")
+            hier = run_workload(QueueWorkload, config, "syncron")
+            rows.append({
+                "cores": cores,
+                "latency_ns": latency,
+                "syncron_vs_flat": flat.cycles / hier.cycles,
+            })
+    return rows
+
+
+# ======================================================================
+# Fig. 22 — ST size sensitivity
+# ======================================================================
+def fig22(combos: Sequence[str] = ("cc.wk", "pr.wk", "ts.air", "ts.pow"),
+          st_sizes: Sequence[int] = (64, 48, 32, 16, 8)) -> List[Dict]:
+    rows = []
+    for combo in combos:
+        factory = _app_factory(combo)
+        cycles = {}
+        overflow = {}
+        for st in st_sizes:
+            config = ndp_2_5d(st_entries=st)
+            metrics = run_workload(factory, config, "syncron")
+            cycles[st] = metrics.cycles
+            overflow[st] = metrics.overflow_request_pct
+        base = cycles[st_sizes[0]]
+        row = {"app": combo}
+        for st in st_sizes:
+            row[f"ST_{st}"] = cycles[st] / base
+            row[f"ST_{st}_overflow_pct"] = overflow[st]
+        rows.append(row)
+    return rows
+
+
+# ======================================================================
+# Fig. 23 — overflow management schemes
+# ======================================================================
+def fig23(st_sizes: Sequence[int] = (16, 32, 48, 64, 128, 256)) -> List[Dict]:
+    schemes = ("syncron", "syncron_central_ovrfl", "syncron_distrib_ovrfl")
+    rows = []
+    for st in st_sizes:
+        config = ndp_2_5d(st_entries=st)
+        row = {"st_entries": st}
+        for scheme in schemes:
+            metrics = run_workload(BSTFineGrainedWorkload, config, scheme)
+            row[scheme] = metrics.ops_per_ms
+            row[f"{scheme}_overflow_pct"] = metrics.overflow_request_pct
+        rows.append(row)
+    return rows
+
+
+# ======================================================================
+# Table 7 — ST occupancy across real applications
+# ======================================================================
+def table7(combos: Sequence[str] = tuple(APP_INPUTS)) -> List[Dict]:
+    config = ndp_2_5d()
+    rows = []
+    for combo in combos:
+        metrics = run_workload(_app_factory(combo), config, "syncron")
+        rows.append({
+            "app": combo,
+            "max_pct": metrics.st_occupancy_max_pct,
+            "avg_pct": metrics.st_occupancy_avg_pct,
+        })
+    return rows

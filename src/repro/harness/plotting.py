@@ -1,0 +1,204 @@
+"""Terminal plotting: render experiment rows the way the paper draws them.
+
+The reproduction's primary output is tables (:mod:`repro.harness.reporting`),
+but the paper's figures are *plots* — grouped bars (Fig. 12/14/15), line
+series over a swept parameter (Fig. 10/16/17), scaling curves (Fig. 11/13).
+This module renders those shapes as Unicode charts so a terminal run can be
+eyeballed against the paper directly::
+
+    speedup vs Central (pr.wk)
+    central  |########                        | 1.00
+    hier     |##########                      | 1.19
+    syncron  |############                    | 1.47
+    ideal    |#############                   | 1.62
+
+All functions take the same ``rows`` (list of dicts) the experiment
+functions return and are pure string builders — no terminal control codes,
+so output is pipe- and log-friendly.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence
+
+#: glyph used for filled bar segments.
+BAR_CHAR = "#"
+#: glyphs for multi-series line charts, assigned in series order.
+SERIES_MARKS = "ox+*@%&$"
+
+
+def _fmt(value: float, width: int = 0) -> str:
+    text = f"{value:.3g}" if isinstance(value, float) else str(value)
+    return text.rjust(width) if width else text
+
+
+def bar_chart(
+    items: Dict[str, float],
+    title: str = "",
+    width: int = 40,
+    max_value: Optional[float] = None,
+) -> str:
+    """Horizontal bar chart of label -> value.
+
+    ``max_value`` pins the scale (useful when comparing charts side by
+    side); by default the largest value fills the full width.
+    """
+    if not items:
+        return f"{title}\n(no data)"
+    scale = max_value if max_value is not None else max(items.values())
+    scale = max(scale, 1e-12)
+    label_width = max(len(str(label)) for label in items)
+    lines = [title] if title else []
+    for label, value in items.items():
+        filled = int(round(width * min(value, scale) / scale))
+        bar = (BAR_CHAR * filled).ljust(width)
+        lines.append(f"{str(label).ljust(label_width)} |{bar}| {_fmt(value)}")
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(
+    rows: List[Dict],
+    group_key: str,
+    series: Sequence[str],
+    title: str = "",
+    width: int = 30,
+) -> str:
+    """One bar block per row (grouped by ``group_key``), one bar per series.
+
+    The shape of the paper's Fig. 12/14/15: applications on the category
+    axis, mechanisms as the bars within each group.
+    """
+    if not rows:
+        return f"{title}\n(no data)"
+    scale = max(
+        (float(row[s]) for row in rows for s in series if s in row),
+        default=1.0,
+    )
+    blocks = [title] if title else []
+    for row in rows:
+        blocks.append(str(row[group_key]))
+        blocks.append(
+            bar_chart(
+                {s: float(row[s]) for s in series if s in row},
+                width=width,
+                max_value=scale,
+            )
+        )
+    return "\n".join(blocks)
+
+
+def line_chart(
+    rows: List[Dict],
+    x_key: str,
+    series: Sequence[str],
+    title: str = "",
+    width: int = 56,
+    height: int = 12,
+    log_x: bool = False,
+) -> str:
+    """Multi-series scatter/line chart on a character grid.
+
+    The shape of the paper's sweep figures (Fig. 10/11/16/17): the swept
+    parameter on x, one mark per series.  ``log_x`` matches the paper's
+    logarithmic interval axes.
+    """
+    points = [
+        (float(row[x_key]), s, float(row[s]))
+        for row in rows
+        for s in series
+        if s in row and row[s] is not None
+    ]
+    if not points:
+        return f"{title}\n(no data)"
+
+    def x_of(value: float) -> float:
+        return math.log10(value) if log_x else value
+
+    xs = [x_of(x) for x, _s, _y in points]
+    ys = [y for _x, _s, y in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for x, series_name, y in points:
+        col = int((x_of(x) - x_lo) / x_span * (width - 1))
+        row_i = height - 1 - int((y - y_lo) / y_span * (height - 1))
+        mark = SERIES_MARKS[list(series).index(series_name) % len(SERIES_MARKS)]
+        cell = grid[row_i][col]
+        grid[row_i][col] = "+" if cell not in (" ", mark) else mark
+
+    lines = [title] if title else []
+    y_label_width = max(len(_fmt(y_hi)), len(_fmt(y_lo)))
+    for i, grid_row in enumerate(grid):
+        if i == 0:
+            label = _fmt(y_hi, y_label_width)
+        elif i == height - 1:
+            label = _fmt(y_lo, y_label_width)
+        else:
+            label = " " * y_label_width
+        lines.append(f"{label} |{''.join(grid_row)}|")
+    x_axis = f"{' ' * y_label_width} +{'-' * width}+"
+    lines.append(x_axis)
+    x_left, x_right = _fmt(min(x for x, _s, _y in points)), _fmt(
+        max(x for x, _s, _y in points)
+    )
+    pad = width - len(x_left) - len(x_right)
+    lines.append(f"{' ' * (y_label_width + 2)}{x_left}{' ' * max(pad, 1)}{x_right}")
+    legend = "  ".join(
+        f"{SERIES_MARKS[i % len(SERIES_MARKS)]}={name}"
+        for i, name in enumerate(series)
+    )
+    lines.append(f"{' ' * (y_label_width + 2)}{legend}")
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """One-line trend glyph string (eight levels)."""
+    glyphs = "▁▂▃▄▅▆▇█"
+    values = list(values)
+    if not values:
+        return ""
+    lo, hi = min(values), max(values)
+    span = (hi - lo) or 1.0
+    return "".join(
+        glyphs[min(int((v - lo) / span * (len(glyphs) - 1)), len(glyphs) - 1)]
+        for v in values
+    )
+
+
+def stacked_bar_chart(
+    rows: List[Dict],
+    group_key: str,
+    components: Sequence[str],
+    title: str = "",
+    width: int = 40,
+) -> str:
+    """Normalized stacked bars (the paper's Fig. 14/15 breakdown shape).
+
+    Each row becomes one bar of fixed ``width`` split proportionally among
+    ``components``; a legend maps component glyphs.
+    """
+    if not rows:
+        return f"{title}\n(no data)"
+    glyphs = "#=+:."
+    label_width = max(len(str(row[group_key])) for row in rows)
+    lines = [title] if title else []
+    legend = "  ".join(
+        f"{glyphs[i % len(glyphs)]}={name}" for i, name in enumerate(components)
+    )
+    lines.append(legend)
+    for row in rows:
+        total = sum(float(row.get(c, 0.0)) for c in components)
+        if total <= 0:
+            lines.append(f"{str(row[group_key]).ljust(label_width)} |{' ' * width}|")
+            continue
+        bar = ""
+        for i, component in enumerate(components):
+            share = float(row.get(component, 0.0)) / total
+            bar += glyphs[i % len(glyphs)] * int(round(share * width))
+        bar = bar[:width].ljust(width)
+        lines.append(f"{str(row[group_key]).ljust(label_width)} |{bar}|")
+    return "\n".join(lines)

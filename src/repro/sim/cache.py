@@ -1,0 +1,99 @@
+"""Set-associative write-back L1 cache model.
+
+Each NDP core has small private L1 I/D caches (Table 5: 16 KB, 2-way,
+4-cycle, 64 B lines).  The paper assumes software-assisted coherence:
+thread-private and shared read-only data are cacheable; shared read-write
+data is *uncacheable* and always goes to memory.  Cacheability is therefore a
+property of the access, decided by the workload, not the cache.
+
+The model tracks tags with true LRU per set and returns hit/miss plus the
+victim (for write-back accounting).  Data values are not stored — the
+functional state of workloads lives in plain Python objects; the cache only
+models *timing and traffic*.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.sim.stats import SystemStats
+
+
+@dataclass
+class AccessResult:
+    hit: bool
+    #: line address of a dirty victim that must be written back, if any.
+    writeback_line: Optional[int] = None
+
+
+class L1Cache:
+    """A private, set-associative, write-back, write-allocate cache."""
+
+    def __init__(
+        self,
+        size_bytes: int,
+        ways: int,
+        line_bytes: int,
+        stats: SystemStats,
+        hit_cycles: int = 4,
+    ):
+        if size_bytes % (ways * line_bytes):
+            raise ValueError("cache size must divide into ways * line size")
+        self.line_bytes = line_bytes
+        self.ways = ways
+        self.num_sets = size_bytes // (ways * line_bytes)
+        self.hit_cycles = hit_cycles
+        self.stats = stats
+        # set index -> OrderedDict(line_addr -> dirty flag); LRU at front.
+        self._sets: Dict[int, OrderedDict] = {}
+
+    # ------------------------------------------------------------------
+    def _set_index(self, line: int) -> int:
+        return line % self.num_sets
+
+    def access(self, addr: int, is_write: bool) -> AccessResult:
+        """Look up ``addr``; allocate on miss; return hit/miss + victim."""
+        line = addr // self.line_bytes
+        idx = self._set_index(line)
+        cset = self._sets.setdefault(idx, OrderedDict())
+
+        if line in cset:
+            cset.move_to_end(line)
+            if is_write:
+                cset[line] = True
+            self.stats.cache_hits += 1
+            return AccessResult(hit=True)
+
+        self.stats.cache_misses += 1
+        writeback = None
+        if len(cset) >= self.ways:
+            victim, dirty = cset.popitem(last=False)
+            if dirty:
+                writeback = victim
+        cset[line] = is_write
+        return AccessResult(hit=False, writeback_line=writeback)
+
+    def contains(self, addr: int) -> bool:
+        line = addr // self.line_bytes
+        return line in self._sets.get(self._set_index(line), ())
+
+    def invalidate(self, addr: int) -> bool:
+        """Drop a line (software coherence / flush); returns True if present."""
+        line = addr // self.line_bytes
+        cset = self._sets.get(self._set_index(line))
+        if cset and line in cset:
+            del cset[line]
+            return True
+        return False
+
+    def flush_all(self) -> int:
+        """Invalidate everything; returns the number of lines dropped."""
+        dropped = sum(len(s) for s in self._sets.values())
+        self._sets.clear()
+        return dropped
+
+    @property
+    def lines_resident(self) -> int:
+        return sum(len(s) for s in self._sets.values())

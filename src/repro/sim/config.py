@@ -1,0 +1,243 @@
+"""System configuration (the paper's Table 5) and named presets.
+
+Everything an experiment can vary lives in :class:`SystemConfig`:
+topology (units, cores), memory technology, network/link parameters,
+SE parameters (ST size, service cycles, indexing counters), server-core cost
+model for the Central/Hier baselines, and energy constants.
+
+Presets:
+
+- :func:`ndp_2_5d`  — HBM-based 2.5D NDP (the paper's default evaluation).
+- :func:`ndp_3d`    — HMC-based 3D NDP.
+- :func:`ndp_2d`    — DDR4-based 2D NDP.
+- :func:`cpu_numa`  — 2-socket CPU used for the Table 1 substitution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict
+
+from repro.sim.clock import core_cycles_from_ns
+
+
+@dataclass(frozen=True)
+class DramTiming:
+    """First-order DRAM timing (per Table 5, in nanoseconds).
+
+    ``act_ns`` models the activation (row open, tRCD), ``restore_ns`` the
+    row-cycle residual (tRAS), ``write_recovery_ns`` tWR, and ``cas_ns`` the
+    column access.  A row-buffer hit pays only ``cas_ns``.
+    """
+
+    name: str
+    act_ns: float
+    restore_ns: float
+    write_recovery_ns: float
+    cas_ns: float
+    channels: int
+    banks_per_channel: int
+    row_size_bytes: int = 2048
+    energy_pj_per_bit: float = 7.0
+
+    @property
+    def row_hit_cycles(self) -> int:
+        return core_cycles_from_ns(self.cas_ns)
+
+    @property
+    def row_miss_cycles(self) -> int:
+        return core_cycles_from_ns(self.act_ns + self.cas_ns)
+
+    @property
+    def row_conflict_cycles(self) -> int:
+        return core_cycles_from_ns(self.restore_ns + self.act_ns + self.cas_ns)
+
+
+# Table 5 memory technologies.  HBM: nRCDR/nRCDW/nRAS/nWR 7/6/17/8 ns.
+HBM = DramTiming(
+    name="HBM", act_ns=7.0, restore_ns=17.0, write_recovery_ns=8.0, cas_ns=7.0,
+    channels=8, banks_per_channel=16, energy_pj_per_bit=7.0,
+)
+# HMC: nRCD/nRAS/nWR 17/34/19 ns; 32 vaults per stack.
+HMC = DramTiming(
+    name="HMC", act_ns=17.0, restore_ns=34.0, write_recovery_ns=19.0, cas_ns=8.0,
+    channels=32, banks_per_channel=8, energy_pj_per_bit=7.0,
+)
+# DDR4: nRCD/nRAS/nWR 16/39/18 ns; 4 DIMMs → model as fewer channels.
+DDR4 = DramTiming(
+    name="DDR4", act_ns=16.0, restore_ns=39.0, write_recovery_ns=18.0, cas_ns=14.0,
+    channels=2, banks_per_channel=16, energy_pj_per_bit=12.0,
+)
+
+MEMORY_TECHNOLOGIES: Dict[str, DramTiming] = {"HBM": HBM, "HMC": HMC, "DDR4": DDR4}
+
+
+@dataclass(frozen=True)
+class EnergyParams:
+    """Energy constants from Table 5 (picojoules)."""
+
+    cache_hit_pj: float = 23.0
+    cache_miss_pj: float = 47.0
+    local_network_pj_per_bit_hop: float = 0.4
+    link_pj_per_bit: float = 4.0
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Full simulated-system configuration.
+
+    The defaults reproduce the paper's evaluated configuration: 4 NDP units,
+    16 cores each (15 clients + 1 server/SE slot), HBM, 40 ns inter-unit
+    links, 64-entry ST.
+    """
+
+    # --- topology -----------------------------------------------------
+    num_units: int = 4
+    cores_per_unit: int = 16
+    #: cores per unit that run application code; the paper keeps 15 clients
+    #: and dedicates the 16th slot to the server core (Central/Hier) or
+    #: disables it (SynCron) for fair comparison.
+    client_cores_per_unit: int = 15
+    #: hardware thread contexts per physical core (Sec. 4: waiting lists
+    #: grow to 1 bit per context; contexts share the core's pipeline + L1).
+    threads_per_core: int = 1
+
+    # --- memory -------------------------------------------------------
+    memory: DramTiming = HBM
+    #: bytes per NDP unit of address space (only used for placement math).
+    unit_memory_bytes: int = 1 << 30
+    cache_line_bytes: int = 64
+
+    # --- L1 cache (private, per core) ----------------------------------
+    l1_size_bytes: int = 16 * 1024
+    l1_ways: int = 2
+    l1_hit_cycles: int = 4
+
+    # --- local network (per-unit buffered crossbar) ---------------------
+    hop_cycles: int = 1
+    arbiter_cycles: int = 1
+    local_hops: int = 2  # core <-> memory/SE inside a unit
+    #: per-unit crossbar service bandwidth in bytes/cycle used by the M/D/1
+    #: queueing model of Table 5.
+    crossbar_bytes_per_cycle: float = 32.0
+
+    # --- inter-unit links ----------------------------------------------
+    link_latency_ns: float = 40.0
+    link_bandwidth_gbps: float = 12.8  # GB/s per direction (Table 5)
+
+    # --- Synchronization Engine ------------------------------------------
+    st_entries: int = 64
+    indexing_counters: int = 256
+    #: SE service occupancy per message, in SE cycles @1GHz (Sec. 5: "each
+    #: message is served in 12 cycles").
+    se_service_se_cycles: int = 12
+    #: lock fairness threshold (Sec. 4.4.2); 0 disables the fairness counter.
+    fairness_threshold: int = 0
+    #: where ST-overflow state lives (Sec. 4.6): ``"memory"`` is the paper's
+    #: NDP design (syncronVar in the Master SE's DRAM); ``"shared_cache"``
+    #: models the conventional-NUMA adaptation that falls back to a
+    #: low-latency shared cache instead.
+    overflow_target: str = "memory"
+    #: shared-cache access latency used by the ``"shared_cache"`` target.
+    shared_cache_hit_cycles: int = 30
+
+    # --- spin-wait baselines (remote atomics / bakery, Sec. 2.2.1) ------
+    #: cycles a spinning core waits between failed retries.
+    spin_backoff_cycles: int = 32
+
+    # --- server-core cost model (Central/Hier baselines) ----------------
+    #: instructions a server core spends decoding/handling one message.
+    server_handler_instructions: int = 24
+    #: memory accesses (through the server's L1) per handled message.
+    server_handler_accesses: int = 2
+
+    # --- energy ---------------------------------------------------------
+    energy: EnergyParams = field(default_factory=EnergyParams)
+
+    # --- misc -------------------------------------------------------------
+    seed: int = 0
+
+    # ------------------------------------------------------------------
+    # Derived values
+    # ------------------------------------------------------------------
+    @property
+    def total_cores(self) -> int:
+        return self.num_units * self.cores_per_unit
+
+    @property
+    def client_contexts_per_unit(self) -> int:
+        """Client hardware thread contexts per unit (what SEs see)."""
+        return self.client_cores_per_unit * self.threads_per_core
+
+    @property
+    def total_clients(self) -> int:
+        return self.num_units * self.client_contexts_per_unit
+
+    @property
+    def link_latency_cycles(self) -> int:
+        return core_cycles_from_ns(self.link_latency_ns)
+
+    @property
+    def link_bytes_per_cycle(self) -> float:
+        # GB/s -> bytes/ns -> bytes/core-cycle (2.5 cycles per ns).
+        return self.link_bandwidth_gbps / 2.5
+
+    def with_(self, **changes) -> "SystemConfig":
+        """Functional update, e.g. ``cfg.with_(num_units=2)``."""
+        return replace(self, **changes)
+
+    def validate(self) -> None:
+        if self.num_units < 1:
+            raise ValueError("need at least one NDP unit")
+        if not 0 < self.client_cores_per_unit <= self.cores_per_unit:
+            raise ValueError("client cores must be in (0, cores_per_unit]")
+        if self.threads_per_core < 1:
+            raise ValueError("need at least one hardware thread context")
+        if self.st_entries < 1:
+            raise ValueError("ST needs at least one entry")
+        if self.indexing_counters < 1:
+            raise ValueError("need at least one indexing counter")
+        if self.overflow_target not in ("memory", "shared_cache"):
+            raise ValueError(
+                "overflow_target must be 'memory' or 'shared_cache', "
+                f"got {self.overflow_target!r}"
+            )
+        if self.shared_cache_hit_cycles < 1:
+            raise ValueError("shared-cache latency must be positive")
+        if self.l1_size_bytes % (self.l1_ways * self.cache_line_bytes):
+            raise ValueError("L1 size must be a multiple of ways*line")
+
+
+def ndp_2_5d(**overrides) -> SystemConfig:
+    """The paper's default 2.5D NDP configuration (HBM)."""
+    return SystemConfig(memory=HBM).with_(**overrides) if overrides else SystemConfig(memory=HBM)
+
+
+def ndp_3d(**overrides) -> SystemConfig:
+    """3D NDP configuration (HMC logic layer)."""
+    return SystemConfig(memory=HMC).with_(**overrides)
+
+
+def ndp_2d(**overrides) -> SystemConfig:
+    """2D NDP configuration (DDR4 DIMMs)."""
+    return SystemConfig(memory=DDR4).with_(**overrides)
+
+
+def cpu_numa(**overrides) -> SystemConfig:
+    """Two-socket CPU stand-in used for the Table 1 substitution.
+
+    A "unit" models a socket of 14 cores; inter-unit link latency models the
+    QPI/UPI socket crossing.  Caches are bigger and coherent (the coherence
+    substrate runs on top).
+    """
+    cfg = SystemConfig(
+        num_units=2,
+        cores_per_unit=14,
+        client_cores_per_unit=14,
+        memory=DDR4,
+        l1_size_bytes=32 * 1024,
+        l1_ways=8,
+        link_latency_ns=80.0,
+        link_bandwidth_gbps=38.4,
+    )
+    return cfg.with_(**overrides) if overrides else cfg

@@ -1,0 +1,136 @@
+"""Discrete-event simulation kernel.
+
+The whole reproduction runs on a small, deterministic event-driven kernel:
+callbacks scheduled at integer cycle timestamps (core-clock cycles at
+2.5 GHz, see :mod:`repro.sim.clock`).  Components (cores, synchronization
+engines, DRAM banks, links) are plain Python objects that schedule callbacks
+on a shared :class:`Simulator`.
+
+Determinism: events at the same timestamp fire in insertion order (a
+monotonically increasing sequence number breaks ties), so a given seed always
+produces the same execution.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional, Tuple
+
+
+class SimulationError(RuntimeError):
+    """Raised for kernel misuse (e.g., scheduling into the past)."""
+
+
+class Simulator:
+    """An event-driven simulator with an integer cycle clock.
+
+    >>> sim = Simulator()
+    >>> fired = []
+    >>> sim.schedule(5, lambda: fired.append(sim.now))
+    >>> sim.run()
+    >>> fired
+    [5]
+    """
+
+    def __init__(self) -> None:
+        self.now: int = 0
+        self._queue: List[Tuple[int, int, Callable[[], None]]] = []
+        self._seq: int = 0
+        self._events_processed: int = 0
+        self._running: bool = False
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay: int, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` to run ``delay`` cycles from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule {delay} cycles into the past")
+        self.schedule_at(self.now + int(delay), callback)
+
+    def schedule_at(self, time: int, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` to run at absolute cycle ``time``."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule at t={time}, current time is {self.now}"
+            )
+        heapq.heappush(self._queue, (int(time), self._seq, callback))
+        self._seq += 1
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Run the single earliest event.  Returns False if queue is empty."""
+        if not self._queue:
+            return False
+        time, _seq, callback = heapq.heappop(self._queue)
+        self.now = time
+        self._events_processed += 1
+        callback()
+        return True
+
+    def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> None:
+        """Run until the event queue drains.
+
+        Args:
+            until: stop once simulated time would pass this cycle (events at
+                exactly ``until`` still execute).
+            max_events: safety valve against livelock; raises if exceeded.
+        """
+        self._running = True
+        processed = 0
+        try:
+            while self._queue:
+                if until is not None and self._queue[0][0] > until:
+                    self.now = until
+                    break
+                if max_events is not None and processed >= max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events} at t={self.now}; "
+                        "likely livelock in a component model"
+                    )
+                self.step()
+                processed += 1
+        finally:
+            self._running = False
+
+    @property
+    def events_processed(self) -> int:
+        return self._events_processed
+
+    @property
+    def pending_events(self) -> int:
+        return len(self._queue)
+
+
+class Process:
+    """A resumable process driven by an external completion signal.
+
+    Components that model cores wrap a generator: the generator yields
+    *operation* objects, the owner resolves each operation's latency and calls
+    :meth:`resume` (optionally passing a value back into the generator).
+    """
+
+    def __init__(self, generator: Any, on_finish: Optional[Callable[[], None]] = None):
+        self.generator = generator
+        self.on_finish = on_finish
+        self.finished = False
+        self.result: Any = None
+
+    def resume(self, value: Any = None) -> Any:
+        """Advance the generator; returns the next yielded operation.
+
+        Returns ``None`` once the generator is exhausted (and fires
+        ``on_finish`` exactly once).
+        """
+        if self.finished:
+            return None
+        try:
+            return self.generator.send(value)
+        except StopIteration as stop:
+            self.finished = True
+            self.result = getattr(stop, "value", None)
+            if self.on_finish is not None:
+                self.on_finish()
+            return None

@@ -1,0 +1,83 @@
+"""Physical address space and per-unit allocation.
+
+The NDP units share one physical address space, statically striped at unit
+granularity: unit ``u`` owns ``[u * unit_memory_bytes, (u+1) * ...)``.
+Workloads place data explicitly (the paper statically partitions data
+structures and graph property arrays across units), so the address map also
+provides a bump allocator per unit.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+
+class AddressMap:
+    """Maps physical addresses to owning NDP units and allocates memory."""
+
+    def __init__(self, num_units: int, unit_memory_bytes: int, line_bytes: int = 64):
+        if num_units < 1:
+            raise ValueError("num_units must be positive")
+        self.num_units = num_units
+        self.unit_memory_bytes = unit_memory_bytes
+        self.line_bytes = line_bytes
+        self._next_free: List[int] = [0] * num_units
+
+    # ------------------------------------------------------------------
+    # Address geometry
+    # ------------------------------------------------------------------
+    def unit_of(self, addr: int) -> int:
+        """NDP unit owning ``addr``."""
+        unit = addr // self.unit_memory_bytes
+        if not 0 <= unit < self.num_units:
+            raise ValueError(f"address {addr:#x} outside the memory map")
+        return unit
+
+    def line_of(self, addr: int) -> int:
+        return addr // self.line_bytes
+
+    def base_of(self, unit: int) -> int:
+        return unit * self.unit_memory_bytes
+
+    # ------------------------------------------------------------------
+    # Allocation
+    # ------------------------------------------------------------------
+    def alloc(self, unit: int, nbytes: int, align: int = 8) -> int:
+        """Allocate ``nbytes`` in ``unit``'s memory; returns base address."""
+        if not 0 <= unit < self.num_units:
+            raise ValueError(f"no such unit: {unit}")
+        if nbytes <= 0:
+            raise ValueError("allocation size must be positive")
+        offset = self._next_free[unit]
+        if offset % align:
+            offset += align - (offset % align)
+        if offset + nbytes > self.unit_memory_bytes:
+            raise MemoryError(f"unit {unit} memory exhausted")
+        self._next_free[unit] = offset + nbytes
+        return self.base_of(unit) + offset
+
+    def alloc_line(self, unit: int) -> int:
+        """Allocate one cache line (the natural grain for sync variables)."""
+        return self.alloc(unit, self.line_bytes, align=self.line_bytes)
+
+    def alloc_array(self, unit: int, count: int, elem_bytes: int = 8) -> int:
+        """Allocate a contiguous array; returns base address."""
+        return self.alloc(unit, count * elem_bytes, align=self.line_bytes)
+
+    def alloc_striped_array(self, count: int, elem_bytes: int = 8) -> List[int]:
+        """Allocate ``count`` elements round-robin across units.
+
+        Returns per-element addresses.  Used for data the paper partitions
+        across units (e.g., vertex property arrays).
+        """
+        per_unit = (count + self.num_units - 1) // self.num_units
+        bases = [self.alloc_array(u, per_unit, elem_bytes) for u in range(self.num_units)]
+        addrs = []
+        for i in range(count):
+            unit = i % self.num_units
+            slot = i // self.num_units
+            addrs.append(bases[unit] + slot * elem_bytes)
+        return addrs
+
+    def bytes_used(self, unit: int) -> int:
+        return self._next_free[unit]

@@ -1,0 +1,118 @@
+"""Memory-system facade: L1 -> local crossbar -> (link ->) DRAM.
+
+Resolves the full latency of a core's load/store following the paper's
+baseline architecture (Sec. 2.1):
+
+- cacheable data (thread-private / shared read-only) goes through the
+  core's private L1; misses fetch a 64 B line from the home unit's DRAM;
+- shared read-write data is **uncacheable** and always performs a word-sized
+  access at the home unit's DRAM;
+- accesses to another unit's memory additionally cross the inter-unit link
+  in both directions (the non-uniformity that motivates SynCron).
+
+Dirty-victim writebacks are accounted for in traffic/energy but overlap with
+execution (they do not add to the requesting core's latency), matching the
+usual write-back buffer assumption.
+"""
+
+from __future__ import annotations
+
+from repro.sim.cache import L1Cache
+from repro.sim.config import SystemConfig
+from repro.sim.dram import DramDevice
+from repro.sim.memmap import AddressMap
+from repro.sim.network import Interconnect
+from repro.sim.stats import SystemStats
+
+#: bytes of a request header / word-grain payload message.
+REQUEST_BYTES = 16
+
+
+class MemorySystem:
+    """Timing oracle for all data accesses in the system."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        stats: SystemStats,
+        interconnect: Interconnect,
+        drams: list,
+        addrmap: AddressMap,
+    ):
+        self.config = config
+        self.stats = stats
+        self.interconnect = interconnect
+        self.drams = drams
+        self.addrmap = addrmap
+
+    # ------------------------------------------------------------------
+    def access(
+        self,
+        src_unit: int,
+        l1: L1Cache,
+        addr: int,
+        is_write: bool,
+        cacheable: bool,
+        now: int,
+        size: int = 8,
+        for_sync: bool = False,
+    ) -> int:
+        """Full latency in cycles of one core access issued at ``now``."""
+        if for_sync:
+            self.stats.sync_memory_accesses += 1
+        if cacheable and l1 is not None:
+            return self._cacheable_access(src_unit, l1, addr, is_write, now)
+        return self._uncacheable_access(src_unit, addr, is_write, now, size)
+
+    # ------------------------------------------------------------------
+    def _cacheable_access(self, src_unit, l1, addr, is_write, now) -> int:
+        result = l1.access(addr, is_write)
+        if result.hit:
+            return l1.hit_cycles
+
+        latency = l1.hit_cycles  # tag check before the miss goes out
+        latency += self._line_fill(src_unit, addr, now + latency)
+        if result.writeback_line is not None:
+            self._background_writeback(src_unit, result.writeback_line, now)
+        return latency
+
+    def _line_fill(self, src_unit: int, addr: int, now: int) -> int:
+        """Request to home DRAM and 64 B line back."""
+        home = self.addrmap.unit_of(addr)
+        line = self.config.cache_line_bytes
+        latency = self.interconnect.transfer_latency(src_unit, home, now, REQUEST_BYTES)
+        latency += self.drams[home].access(addr, is_write=False, now=now + latency)
+        latency += self.interconnect.transfer_latency(home, src_unit, now + latency, line)
+        return latency
+
+    def _background_writeback(self, src_unit: int, victim_line: int, now: int) -> None:
+        """Account a dirty eviction's traffic and DRAM write, off the
+        critical path."""
+        addr = victim_line * self.config.cache_line_bytes
+        home = self.addrmap.unit_of(addr)
+        self.interconnect.transfer_latency(src_unit, home, now, self.config.cache_line_bytes)
+        self.drams[home].access(addr, is_write=True, now=now)
+
+    def _uncacheable_access(self, src_unit, addr, is_write, now, size) -> int:
+        home = self.addrmap.unit_of(addr)
+        payload = max(size, 8)
+        request = REQUEST_BYTES + (payload if is_write else 0)
+        response = REQUEST_BYTES + (0 if is_write else payload)
+        latency = self.interconnect.transfer_latency(src_unit, home, now, request)
+        latency += self.drams[home].access(addr, is_write=is_write, now=now + latency)
+        latency += self.interconnect.transfer_latency(home, src_unit, now + latency, response)
+        return latency
+
+    # ------------------------------------------------------------------
+    def device_access(self, unit: int, addr: int, is_write: bool, now: int,
+                      for_sync: bool = False) -> int:
+        """An access issued by a device in the memory's own unit (e.g. the
+        Master SE reading a ``syncronVar`` from its local memory arrays)."""
+        if for_sync:
+            self.stats.sync_memory_accesses += 1
+        home = self.addrmap.unit_of(addr)
+        if home != unit:
+            raise ValueError("device_access must target the device's own unit")
+        latency = self.interconnect.local_latency(unit, now, REQUEST_BYTES)
+        latency += self.drams[home].access(addr, is_write=is_write, now=now + latency)
+        return latency

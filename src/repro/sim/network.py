@@ -1,0 +1,143 @@
+"""Interconnect models: per-unit crossbar and inter-unit serial links.
+
+Per Table 5 the paper models (i) a buffered crossbar inside each NDP unit
+with a 1-cycle arbiter, 1-cycle hops and an **M/D/1** queueing model for
+queueing latency, and (ii) serial inter-unit links with 12.8 GB/s per
+direction and 40 ns latency per cache line.
+
+We reproduce both:
+
+- :class:`Crossbar` charges arbitration + hop latency plus an analytic M/D/1
+  waiting time driven by a windowed estimate of the injected load.
+- :class:`Link` is a reserved resource per ordered unit pair: propagation
+  latency plus serialization at the configured bandwidth, with queueing
+  emerging from the reservation (``next_free``) time.
+
+Both record traffic into :class:`~repro.sim.stats.SystemStats` so the energy
+model and the Fig. 15 data-movement results need no extra hooks.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Tuple
+
+from repro.sim.config import SystemConfig
+from repro.sim.stats import SystemStats
+
+
+class LoadEstimator:
+    """Exponential moving average of injected bytes/cycle.
+
+    Drives the M/D/1 waiting-time term.  ``tau`` is the averaging window in
+    cycles; larger values smooth bursts.
+    """
+
+    def __init__(self, tau: float = 2000.0):
+        self.tau = tau
+        self._rate = 0.0
+        self._last_time = 0
+
+    def inject(self, now: int, nbytes: int) -> None:
+        elapsed = max(now - self._last_time, 1)
+        decay = math.exp(-elapsed / self.tau)
+        # Spread the burst over the elapsed interval, then decay history.
+        self._rate = self._rate * decay + (nbytes / elapsed) * (1.0 - decay)
+        self._last_time = now
+
+    def rate(self) -> float:
+        return self._rate
+
+
+class Crossbar:
+    """Buffered crossbar inside one NDP unit."""
+
+    def __init__(self, config: SystemConfig, stats: SystemStats, unit_id: int):
+        self.config = config
+        self.stats = stats
+        self.unit_id = unit_id
+        self._load = LoadEstimator()
+
+    def traverse(self, now: int, nbytes: int, hops: int = None) -> int:
+        """Latency in cycles to move ``nbytes`` across the local crossbar."""
+        cfg = self.config
+        if hops is None:
+            hops = cfg.local_hops
+        self._load.inject(now, nbytes)
+        self.stats.bytes_inside_units += nbytes
+        self.stats.local_bit_hops += nbytes * 8 * hops
+
+        base = cfg.arbiter_cycles + hops * cfg.hop_cycles
+        return base + self._md1_wait(nbytes)
+
+    def _md1_wait(self, nbytes: int) -> int:
+        """M/D/1 mean waiting time: W = rho / (2*mu*(1-rho)).
+
+        Service time of this packet is its serialization time at the crossbar
+        bandwidth; utilization rho comes from the load estimator.
+        """
+        cfg = self.config
+        service = max(nbytes / cfg.crossbar_bytes_per_cycle, 1.0)
+        rho = min(self._load.rate() / cfg.crossbar_bytes_per_cycle, 0.95)
+        wait = rho * service / (2.0 * (1.0 - rho))
+        return int(wait)
+
+    @property
+    def utilization(self) -> float:
+        return min(self._load.rate() / self.config.crossbar_bytes_per_cycle, 1.0)
+
+
+class Link:
+    """A serial inter-unit link, one reserved resource per direction."""
+
+    def __init__(self, config: SystemConfig, stats: SystemStats):
+        self.config = config
+        self.stats = stats
+        self._next_free = 0
+
+    def transfer(self, now: int, nbytes: int) -> int:
+        """Latency in cycles to push ``nbytes`` over this direction."""
+        cfg = self.config
+        serialization = max(int(math.ceil(nbytes / cfg.link_bytes_per_cycle)), 1)
+        start = max(now, self._next_free)
+        self._next_free = start + serialization
+        self.stats.bytes_across_units += nbytes
+        return (start - now) + serialization + cfg.link_latency_cycles
+
+
+class Interconnect:
+    """The whole fabric: one crossbar per unit, links between unit pairs."""
+
+    def __init__(self, config: SystemConfig, stats: SystemStats):
+        self.config = config
+        self.stats = stats
+        self.crossbars = [Crossbar(config, stats, u) for u in range(config.num_units)]
+        self._links: Dict[Tuple[int, int], Link] = {}
+
+    def _link(self, src_unit: int, dst_unit: int) -> Link:
+        key = (src_unit, dst_unit)
+        link = self._links.get(key)
+        if link is None:
+            link = Link(self.config, self.stats)
+            self._links[key] = link
+        return link
+
+    # ------------------------------------------------------------------
+    def local_latency(self, unit: int, now: int, nbytes: int) -> int:
+        """Move a packet within ``unit`` (core <-> SE / memory controller)."""
+        return self.crossbars[unit].traverse(now, nbytes)
+
+    def remote_latency(self, src_unit: int, dst_unit: int, now: int, nbytes: int) -> int:
+        """Move a packet between units: local xbar, link, remote xbar."""
+        if src_unit == dst_unit:
+            return self.local_latency(src_unit, now, nbytes)
+        latency = self.crossbars[src_unit].traverse(now, nbytes)
+        latency += self._link(src_unit, dst_unit).transfer(now + latency, nbytes)
+        latency += self.crossbars[dst_unit].traverse(now + latency, nbytes)
+        return latency
+
+    def transfer_latency(self, src_unit: int, dst_unit: int, now: int, nbytes: int) -> int:
+        """Generic entry point used by cores, SEs, and memory controllers."""
+        if src_unit == dst_unit:
+            return self.local_latency(src_unit, now, nbytes)
+        return self.remote_latency(src_unit, dst_unit, now, nbytes)

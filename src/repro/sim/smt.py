@@ -1,0 +1,45 @@
+"""Hardware thread contexts sharing one NDP core (paper Sec. 4).
+
+The paper notes that supporting multiple hardware thread contexts per NDP
+core only requires widening SynCron's waiting lists to one bit per context
+— each context already has a unique ID.  This module supplies the core-side
+half of that statement: an :class:`IssuePort` modelling the single in-order
+pipeline the contexts share.
+
+Model — coarse-grained (switch-on-stall) multithreading, the realistic
+choice for simple in-order NDP cores: every instruction must *issue*
+through the port in arrival order; memory latency and synchronization
+waits then run **off-port**, so while context A waits for DRAM or a lock
+grant, context B issues its own instructions.  Compute sequences hold the
+port for their full duration (a 1-IPC in-order pipeline has no spare
+slots to interleave), so compute-bound siblings serialize — latency
+hiding comes from overlapping *stalls*, not from sharing ALU cycles.
+
+With one context per core the port never has a second client, arrival
+order equals program order, and timing reduces to the single-threaded
+model exactly (a property the test suite checks).
+"""
+
+from __future__ import annotations
+
+
+class IssuePort:
+    """The shared in-order pipeline of one physical NDP core."""
+
+    __slots__ = ("next_free", "issues")
+
+    def __init__(self) -> None:
+        self.next_free = 0
+        self.issues = 0
+
+    def reserve(self, now: int, cycles: int) -> int:
+        """Claim the pipeline for ``cycles`` starting no earlier than
+        ``now``; returns the actual start time."""
+        start = max(now, self.next_free)
+        self.next_free = start + cycles
+        self.issues += 1
+        return start
+
+    def wait_time(self, now: int) -> int:
+        """Cycles a request arriving at ``now`` would stall before issuing."""
+        return max(self.next_free - now, 0)

@@ -1,0 +1,114 @@
+"""System-wide statistics counters.
+
+A single :class:`SystemStats` instance is shared by every component of a
+simulated system.  Components only *increment* counters; the harness reads
+them to build the paper's energy (Fig. 14), data-movement (Fig. 15) and
+occupancy (Table 7, Fig. 19/22) results.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class SystemStats:
+    """Mutable counters, all starting at zero."""
+
+    # Cache events (all private L1s).
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    # Memory events.
+    dram_reads: int = 0
+    dram_writes: int = 0
+    dram_row_hits: int = 0
+    dram_row_misses: int = 0
+    #: reads/writes issued purely for synchronization (sync variables,
+    #: syncronVar overflow structures, server-core waitlist bookkeeping).
+    sync_memory_accesses: int = 0
+
+    # Traffic in bytes (the Fig. 15 metric).
+    bytes_inside_units: int = 0
+    bytes_across_units: int = 0
+    #: bit-hops over local crossbars (for local-network energy).
+    local_bit_hops: int = 0
+
+    # Message counts.
+    sync_messages_local: int = 0
+    sync_messages_global: int = 0
+    sync_messages_overflow: int = 0
+
+    # SE bookkeeping.
+    st_allocations: int = 0
+    st_releases: int = 0
+    st_overflow_requests: int = 0
+    sync_requests_total: int = 0
+
+    # Per-category extras (extensible without schema churn).
+    extra: Counter = field(default_factory=Counter)
+
+    # Occupancy integrals: sum over sampling points of occupied entries,
+    # plus max, per SE id.
+    st_occupancy_max: Dict[int, int] = field(default_factory=dict)
+    _st_occupancy_sum: Dict[int, int] = field(default_factory=dict)
+    _st_occupancy_samples: Dict[int, int] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    def record_st_occupancy(self, se_id: int, occupied: int) -> None:
+        """Sample an ST's occupancy (called by the SE on every message)."""
+        if occupied > self.st_occupancy_max.get(se_id, 0):
+            self.st_occupancy_max[se_id] = occupied
+        self._st_occupancy_sum[se_id] = self._st_occupancy_sum.get(se_id, 0) + occupied
+        self._st_occupancy_samples[se_id] = self._st_occupancy_samples.get(se_id, 0) + 1
+
+    def st_occupancy_avg(self, se_id: int) -> float:
+        samples = self._st_occupancy_samples.get(se_id, 0)
+        if samples == 0:
+            return 0.0
+        return self._st_occupancy_sum[se_id] / samples
+
+    def st_occupancy_summary(self, st_entries: int) -> Dict[str, float]:
+        """Max/avg occupancy as percentages across all SEs (Table 7 rows)."""
+        if not self._st_occupancy_samples:
+            return {"max_pct": 0.0, "avg_pct": 0.0}
+        max_occ = max(self.st_occupancy_max.values(), default=0)
+        total_sum = sum(self._st_occupancy_sum.values())
+        total_samples = sum(self._st_occupancy_samples.values())
+        return {
+            "max_pct": 100.0 * max_occ / st_entries,
+            "avg_pct": 100.0 * (total_sum / total_samples) / st_entries,
+        }
+
+    # ------------------------------------------------------------------
+    @property
+    def overflow_request_pct(self) -> float:
+        """Percentage of sync requests serviced via main memory (Fig. 22/23)."""
+        if self.sync_requests_total == 0:
+            return 0.0
+        return 100.0 * self.st_overflow_requests / self.sync_requests_total
+
+    @property
+    def total_bytes(self) -> int:
+        return self.bytes_inside_units + self.bytes_across_units
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat snapshot for reporting."""
+        return {
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "dram_reads": self.dram_reads,
+            "dram_writes": self.dram_writes,
+            "dram_row_hits": self.dram_row_hits,
+            "dram_row_misses": self.dram_row_misses,
+            "sync_memory_accesses": self.sync_memory_accesses,
+            "bytes_inside_units": self.bytes_inside_units,
+            "bytes_across_units": self.bytes_across_units,
+            "sync_messages_local": self.sync_messages_local,
+            "sync_messages_global": self.sync_messages_global,
+            "sync_messages_overflow": self.sync_messages_overflow,
+            "st_overflow_requests": self.st_overflow_requests,
+            "sync_requests_total": self.sync_requests_total,
+        }

@@ -1,0 +1,93 @@
+"""Interface between simulated cores and synchronization mechanisms.
+
+Every mechanism (SynCron, its flat variant, Central, Hier, Ideal, the
+MiSAR-style overflow alternatives) implements :class:`SyncMechanism`.  Cores
+call :meth:`SyncMechanism.request` for blocking ``req_sync`` operations and
+:meth:`SyncMechanism.request_async` for ``req_async`` releases; the mechanism
+owns all message-travel and service timing and invokes the given callback
+when the core may proceed.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Optional, Protocol, runtime_checkable
+
+
+_var_ids = itertools.count()
+
+
+class SyncVar:
+    """A synchronization variable: an address plus primitive bookkeeping.
+
+    ``create_syncvar()`` (Table 2) allocates one cache line in some unit's
+    memory; the owning unit determines the *Master SE*.  The ``kind`` is set
+    on first use and checked afterwards — using one variable as both a lock
+    and a barrier is a programming error the real API also cannot express.
+    """
+
+    __slots__ = ("addr", "unit", "kind", "uid", "name")
+
+    def __init__(self, addr: int, unit: int, name: str = ""):
+        self.addr = addr
+        self.unit = unit
+        self.kind: Optional[str] = None
+        self.uid = next(_var_ids)
+        self.name = name or f"svar{self.uid}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SyncVar({self.name}, addr={self.addr:#x}, unit={self.unit})"
+
+
+@runtime_checkable
+class SyncMechanism(Protocol):
+    """What a synchronization mechanism must provide to cores."""
+
+    def request(
+        self,
+        core: "object",
+        op: str,
+        var: SyncVar,
+        info: int,
+        callback: Callable[[], None],
+    ) -> None:
+        """Blocking request; ``callback`` fires when the core may continue."""
+        ...
+
+    def request_async(self, core: "object", op: str, var: SyncVar, info: int) -> int:
+        """Non-blocking request; returns the core-side issue cost in cycles."""
+        ...
+
+
+class MechanismBase:
+    """Shared bookkeeping for mechanism implementations."""
+
+    name = "base"
+
+    def __init__(self, system: "object"):
+        self.system = system
+        self.sim = system.sim
+        self.config = system.config
+        self.stats = system.stats
+        self.interconnect = system.interconnect
+
+    # Subclasses override these two.
+    def request(self, core, op, var, info, callback) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def request_async(self, core, op, var, info) -> int:
+        """Default: model req_async as a request whose ACK nobody waits for."""
+        self.request(core, op, var, info, callback=lambda: None)
+        return 1
+
+    def rmw(self, core, addr: int, op: str, operand: int,
+            callback: Callable[[int], None]) -> None:
+        """Atomic read-modify-write at ``addr`` (Sec. 4.4.1 extension).
+
+        ``callback(old_value)`` fires when the response reaches the core.
+        Mechanisms without rmw hardware (the bakery software baseline)
+        keep this default and reject the operation.
+        """
+        raise NotImplementedError(
+            f"mechanism {self.name!r} has no atomic rmw support"
+        )

@@ -1,0 +1,113 @@
+"""Message tracing: observe every SE message in a simulated system.
+
+Debugging distributed protocols from aggregate counters alone is painful;
+:class:`MessageTracer` hooks a mechanism's engines and records every
+dispatched message with its timestamp, handler engine, opcode, variable and
+originator — the simulated equivalent of a protocol analyzer on the SE
+fabric.
+
+Usage::
+
+    system = NDPSystem(ndp_2_5d(), mechanism="syncron")
+    tracer = MessageTracer(system)          # hooks installed
+    ... run programs ...
+    tracer.summary()                        # opcode histogram
+    tracer.for_variable(lock)               # one variable's full history
+
+Tracing is read-only: timing and behaviour are unchanged.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One dispatched message."""
+
+    time: int
+    engine: str          # e.g. "SE0", "server2", "fallback4"
+    opcode: str
+    variable: str
+    core: Optional[int]
+    src_se: Optional[int]
+
+    def __str__(self) -> str:
+        who = f"core{self.core}" if self.core is not None else f"SE{self.src_se}"
+        return (f"[{self.time:>10}] {self.engine:<10} {self.opcode:<32} "
+                f"{self.variable:<12} from {who}")
+
+
+def _engine_label(engine) -> str:
+    name = type(engine).__name__
+    if name == "SyncEngine":
+        return f"SE{engine.se_id}"
+    return f"{name.strip('_').lower()}{engine.se_id}"
+
+
+class MessageTracer:
+    """Records every message dispatched by a mechanism's engines."""
+
+    def __init__(self, system, filter_fn: Callable[[TraceRecord], bool] = None):
+        self.system = system
+        self.records: List[TraceRecord] = []
+        self.filter_fn = filter_fn
+        self._install()
+
+    def _install(self) -> None:
+        engines = list(getattr(self.system.mechanism, "ses", []))
+        engines.extend(getattr(self.system.mechanism, "_fallbacks", []))
+        seen = set()
+        for engine in engines:
+            if id(engine) in seen:  # Central aliases one server N times
+                continue
+            seen.add(id(engine))
+            self._hook(engine)
+
+    def _hook(self, engine) -> None:
+        original = engine.dispatch
+        label = _engine_label(engine)
+
+        def traced_dispatch(msg, _original=original, _label=label):
+            record = TraceRecord(
+                time=self.system.sim.now,
+                engine=_label,
+                opcode=msg.opcode.name,
+                variable=msg.var.name,
+                core=msg.core,
+                src_se=msg.src_se,
+            )
+            if self.filter_fn is None or self.filter_fn(record):
+                self.records.append(record)
+            _original(msg)
+
+        engine.dispatch = traced_dispatch
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def summary(self) -> Counter:
+        """Opcode histogram."""
+        return Counter(record.opcode for record in self.records)
+
+    def for_variable(self, var) -> List[TraceRecord]:
+        name = getattr(var, "name", var)
+        return [r for r in self.records if r.variable == name]
+
+    def for_core(self, core_id: int) -> List[TraceRecord]:
+        return [r for r in self.records if r.core == core_id]
+
+    def between(self, start: int, end: int) -> List[TraceRecord]:
+        return [r for r in self.records if start <= r.time <= end]
+
+    def format(self, records: Optional[List[TraceRecord]] = None,
+               limit: int = 50) -> str:
+        records = self.records if records is None else records
+        lines = [str(r) for r in records[:limit]]
+        if len(records) > limit:
+            lines.append(f"... ({len(records) - limit} more)")
+        return "\n".join(lines)

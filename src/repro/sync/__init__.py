@@ -1,0 +1,32 @@
+"""Synchronization mechanisms evaluated against SynCron.
+
+- :class:`~repro.sync.central.CentralMechanism` — one server core system-wide.
+- :class:`~repro.sync.hier.HierMechanism` — one server core per NDP unit.
+- :class:`~repro.sync.ideal.IdealMechanism` — zero-overhead synchronization.
+- :class:`~repro.sync.flat.FlatSynCronMechanism` — SynCron without hierarchy.
+- :mod:`~repro.sync.overflow_alt` — MiSAR-style overflow variants (Fig. 23).
+- :class:`~repro.sync.logic.SyncLogic` — timing-free reference semantics.
+"""
+
+from repro.sync.central import CentralMechanism
+from repro.sync.flat import FlatSynCronMechanism
+from repro.sync.hier import HierMechanism
+from repro.sync.ideal import IdealMechanism
+from repro.sync.logic import LogicError, SyncLogic
+from repro.sync.overflow_alt import (
+    SynCronCentralOverflowMechanism,
+    SynCronDistribOverflowMechanism,
+)
+from repro.sync.server import ServerEngine
+
+__all__ = [
+    "CentralMechanism",
+    "FlatSynCronMechanism",
+    "HierMechanism",
+    "IdealMechanism",
+    "LogicError",
+    "ServerEngine",
+    "SynCronCentralOverflowMechanism",
+    "SynCronDistribOverflowMechanism",
+    "SyncLogic",
+]

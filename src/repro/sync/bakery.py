@@ -1,0 +1,423 @@
+"""Lamport-bakery software synchronization baseline (paper Sec. 2.2.1).
+
+When the hardware provides no atomic read-modify-write operations at all,
+synchronization can still be built from plain loads and stores with
+Lamport's bakery algorithm [87] — at the cost of touching ``O(N)`` memory
+locations per retry for ``N`` participating cores.  The paper cites this
+scaling as the reason shared-memory synchronization without rmw support is
+a non-starter on NDP systems; this module implements the baseline so the
+``O(N)`` wall is measurable (see ``benchmarks/bench_ablations.py``).
+
+Model
+-----
+
+Each synchronization variable owns a bakery array (``choosing[N]`` and
+``number[N]``) in its home unit's memory.  All accesses are uncacheable
+(shared read-write data bypasses the L1 per the baseline architecture), so
+every load/store is a round trip to the home unit's DRAM:
+
+- *taking a ticket* costs 2 stores + ``N`` loads (read every number to pick
+  max+1) + 1 store;
+- *one doorway scan* costs up to ``2N`` loads (``choosing[j]`` then
+  ``number[j]`` per rival); a failed scan backs off and rescans.
+
+Ordering (who holds the lock) is tracked by ticket order, which the scans
+discover; grant timing is when the winner's first *successful* scan
+completes after the previous owner resets its number.
+
+Higher-level primitives (barrier, semaphore, condition variable) follow the
+textbook construction: a bakery lock guards the primitive's state word;
+waiters poll the state word (one uncacheable load per poll) between
+critical sections.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Dict, Optional, Tuple
+
+from repro.sim.program import (
+    BARRIER_WAIT_ACROSS_UNITS,
+    BARRIER_WAIT_WITHIN_UNIT,
+    COND_BROADCAST,
+    COND_SIGNAL,
+    COND_WAIT,
+    LOCK_ACQUIRE,
+    LOCK_RELEASE,
+    RW_READ_ACQUIRE,
+    RW_READ_RELEASE,
+    RW_WRITE_ACQUIRE,
+    RW_WRITE_RELEASE,
+    SEM_POST,
+    SEM_WAIT,
+)
+from repro.sim.syncif import MechanismBase, SyncVar
+
+#: bytes of one word-grain uncacheable access (header + payload).
+WORD_BYTES = 16
+
+
+class _BakeryLockState:
+    """Logical state of one bakery lock: ticket order is FIFO."""
+
+    __slots__ = ("next_ticket", "owner", "queue")
+
+    def __init__(self) -> None:
+        self.next_ticket = 1
+        self.owner: Optional[int] = None
+        self.queue: Deque[int] = deque()
+
+    def take_ticket(self, core_id: int) -> bool:
+        """Join the bakery line; returns True when the line was empty."""
+        if self.owner is None and not self.queue:
+            self.owner = core_id
+            return True
+        self.queue.append(core_id)
+        return False
+
+    def release(self, core_id: int) -> None:
+        if self.owner != core_id:
+            raise RuntimeError(
+                f"core {core_id} released a bakery lock owned by {self.owner}"
+            )
+        self.owner = self.queue.popleft() if self.queue else None
+
+
+class BakeryMechanism(MechanismBase):
+    """Software synchronization from loads/stores only (``bakery``)."""
+
+    name = "bakery"
+
+    def __init__(self, system):
+        super().__init__(system)
+        self._locks: Dict[int, _BakeryLockState] = {}
+        #: state words for barrier/semaphore/condvar (addr, field) -> value.
+        self._words: Dict[Tuple[int, str], int] = {}
+        self._sem_initialized: Dict[int, bool] = {}
+        self.scan_rounds = 0
+
+    # ------------------------------------------------------------------
+    # Memory-access cost model
+    # ------------------------------------------------------------------
+    def _access(self, core, var: SyncVar, is_write: bool, now: int) -> int:
+        """One uncacheable word access to ``var``'s home unit."""
+        return self.system.memsys.access(
+            core.unit_id, None, var.addr, is_write,
+            cacheable=False, now=now, size=8, for_sync=True,
+        )
+
+    def _charge_sequence(self, core, var: SyncVar, loads: int, stores: int,
+                         done: Callable[[], None]) -> None:
+        """Charge ``loads`` + ``stores`` back-to-back accesses, then call
+        ``done``.  One simulator event for the whole sequence (the in-order
+        core cannot overlap them anyway)."""
+        cursor = self.sim.now
+        for _ in range(stores):
+            cursor += max(self._access(core, var, True, cursor), 1)
+        for _ in range(loads):
+            cursor += max(self._access(core, var, False, cursor), 1)
+        if core.unit_id == var.unit:
+            self.stats.sync_messages_local += loads + stores
+        else:
+            self.stats.sync_messages_global += loads + stores
+        self.sim.schedule_at(cursor, done)
+
+    @property
+    def _n(self) -> int:
+        """Participants the bakery arrays are sized for."""
+        return self.config.total_clients
+
+    def _lock_state(self, addr: int) -> _BakeryLockState:
+        state = self._locks.get(addr)
+        if state is None:
+            state = _BakeryLockState()
+            self._locks[addr] = state
+        return state
+
+    # ------------------------------------------------------------------
+    # Mechanism interface
+    # ------------------------------------------------------------------
+    def request(self, core, op, var, info, callback) -> None:
+        self.stats.sync_requests_total += 1
+        if op == LOCK_ACQUIRE:
+            self._lock_acquire(core, var, callback)
+        elif op == LOCK_RELEASE:
+            self._lock_release(core, var, callback)
+        elif op in (BARRIER_WAIT_WITHIN_UNIT, BARRIER_WAIT_ACROSS_UNITS):
+            self._barrier_wait(core, var, info, callback)
+        elif op == SEM_WAIT:
+            self._sem_wait(core, var, info, callback)
+        elif op == SEM_POST:
+            self._guarded_update(core, var, "sem", lambda v: v + 1, callback)
+        elif op == COND_WAIT:
+            self._cond_wait(core, var, info, callback)
+        elif op == COND_SIGNAL:
+            self._guarded_update(core, var, "credits", lambda v: v + 1, callback)
+        elif op == COND_BROADCAST:
+            self._guarded_update(core, var, "gen", lambda v: v + 1, callback)
+        elif op == RW_READ_ACQUIRE:
+            self._rw_acquire(core, var, callback, write=False)
+        elif op == RW_READ_RELEASE:
+            self._guarded_update(core, var, "readers", lambda v: v - 1, callback)
+        elif op == RW_WRITE_ACQUIRE:
+            self._rw_acquire(core, var, callback, write=True)
+        elif op == RW_WRITE_RELEASE:
+            self._guarded_update(core, var, "writer", lambda _v: 0, callback)
+        else:
+            raise ValueError(f"unknown sync op {op!r}")
+
+    def request_async(self, core, op, var, info) -> int:
+        self.request(core, op, var, info, callback=lambda: None)
+        return 1
+
+    # ------------------------------------------------------------------
+    # The bakery lock itself
+    # ------------------------------------------------------------------
+    def _lock_acquire(self, core, var, callback) -> None:
+        state = self._lock_state(var.addr)
+        granted = state.take_ticket(core.core_id)
+        n = self._n
+
+        # Doorway: choosing[i]=1, read N numbers, number[i]=max+1,
+        # choosing[i]=0 — 2 stores + N loads + 1 store.
+        def after_doorway() -> None:
+            if state.owner == core.core_id:
+                # First scan still walks every rival once.
+                self._charge_sequence(core, var, loads=2 * n, stores=0, done=callback)
+            else:
+                scan()
+
+        def scan() -> None:
+            self.scan_rounds += 1
+            self.stats.extra["bakery_scans"] += 1
+
+            def after_scan() -> None:
+                if state.owner == core.core_id:
+                    callback()
+                else:
+                    self.sim.schedule(
+                        max(self.config.spin_backoff_cycles, 1), scan
+                    )
+
+            self._charge_sequence(core, var, loads=2 * n, stores=0, done=after_scan)
+
+        del granted  # ownership is re-checked after the charged doorway
+        self._charge_sequence(core, var, loads=n, stores=3, done=after_doorway)
+
+    def _lock_release(self, core, var, callback) -> None:
+        state = self._lock_state(var.addr)
+
+        def after_store() -> None:
+            state.release(core.core_id)
+            callback()
+
+        # number[i] = 0: one store.
+        self._charge_sequence(core, var, loads=0, stores=1, done=after_store)
+
+    # ------------------------------------------------------------------
+    # Guarded state updates (barrier / semaphore / condvar bodies)
+    # ------------------------------------------------------------------
+    def _guarded_update(self, core, var, field: str,
+                        fn: Callable[[int], int], callback,
+                        observe: Optional[Callable[[int, int], None]] = None) -> None:
+        """bakery-lock(var) { old = word; word = fn(old) } unlock; callback.
+
+        ``observe(old, new)`` runs inside the critical section.
+        """
+        def in_critical_section() -> None:
+            key = (var.addr, field)
+            old = self._words.get(key, 0)
+            new = fn(old)
+            self._words[key] = new
+            if observe is not None:
+                observe(old, new)
+            # read + write of the state word, then release.
+            self._charge_sequence(core, var, loads=1, stores=1, done=release)
+
+        def release() -> None:
+            self._lock_release(core, var, callback)
+
+        self._lock_acquire(core, var, in_critical_section)
+
+    def _poll_until(self, core, var, field: str,
+                    satisfied: Callable[[int], bool], callback) -> None:
+        """Spin-load the state word until ``satisfied(value)``."""
+        def poll() -> None:
+            def after_load() -> None:
+                if satisfied(self._words.get((var.addr, field), 0)):
+                    callback()
+                else:
+                    self.stats.extra["bakery_polls"] += 1
+                    self.sim.schedule(max(self.config.spin_backoff_cycles, 1), poll)
+
+            self._charge_sequence(core, var, loads=1, stores=0, done=after_load)
+
+        poll()
+
+    # ------------------------------------------------------------------
+    # Barrier / semaphore / condvar over the guarded word
+    # ------------------------------------------------------------------
+    def _barrier_wait(self, core, var, expected: int, callback) -> None:
+        if expected < 1:
+            raise ValueError("barrier needs a positive participant count")
+
+        def on_arrival(old: int, new: int) -> None:
+            if new >= expected:
+                # Last arriver: reset count, bump generation (still inside
+                # the critical section, so no extra lock round).
+                self._words[(var.addr, "count")] = 0
+                gen_key = (var.addr, "gen")
+                self._words[gen_key] = self._words.get(gen_key, 0) + 1
+                arrival_outcome["last"] = True
+            else:
+                arrival_outcome["generation"] = self._words.get((var.addr, "gen"), 0)
+
+        def after_update() -> None:
+            if arrival_outcome.get("last"):
+                callback()
+            else:
+                my_generation = arrival_outcome["generation"]
+                self._poll_until(
+                    core, var, "gen", lambda g: g > my_generation, callback
+                )
+
+        arrival_outcome: Dict[str, object] = {}
+        self._guarded_update(
+            core, var, "count", lambda v: v + 1, after_update, observe=on_arrival
+        )
+
+    def _sem_wait(self, core, var, initial: int, callback) -> None:
+        if not self._sem_initialized.get(var.addr):
+            self._sem_initialized[var.addr] = True
+            self._words[(var.addr, "sem")] = initial
+
+        def attempt() -> None:
+            outcome: Dict[str, bool] = {}
+
+            def on_value(old: int, _new: int) -> None:
+                outcome["granted"] = old > 0
+
+            def after_update() -> None:
+                if outcome["granted"]:
+                    callback()
+                else:
+                    self.sim.schedule(
+                        max(self.config.spin_backoff_cycles, 1), attempt
+                    )
+
+            self._guarded_update(
+                core, var, "sem",
+                lambda v: v - 1 if v > 0 else v,
+                after_update, observe=on_value,
+            )
+
+        attempt()
+
+    def _cond_wait(self, core, var, lock_var, callback) -> None:
+        snapshot: Dict[str, int] = {}
+
+        def on_snapshot(old: int, _new: int) -> None:
+            snapshot["generation"] = self._words.get((var.addr, "gen"), 0)
+
+        def after_snapshot() -> None:
+            # Release the caller's lock, then poll for a wakeup.
+            self._lock_release(core, lock_var, spin)
+
+        def spin() -> None:
+            my_generation = snapshot["generation"]
+
+            def woken_by(credits_or_gen: int) -> bool:
+                del credits_or_gen
+                generation = self._words.get((var.addr, "gen"), 0)
+                credits = self._words.get((var.addr, "credits"), 0)
+                return generation > my_generation or credits > 0
+
+            def consume() -> None:
+                generation = self._words.get((var.addr, "gen"), 0)
+                if generation > snapshot["generation"]:
+                    reacquire()
+                    return
+                outcome: Dict[str, bool] = {}
+
+                def on_credit(old: int, _new: int) -> None:
+                    outcome["granted"] = old > 0
+
+                def after_consume() -> None:
+                    if outcome["granted"]:
+                        reacquire()
+                    else:
+                        spin()
+
+                self._guarded_update(
+                    core, var, "credits",
+                    lambda v: v - 1 if v > 0 else v,
+                    after_consume, observe=on_credit,
+                )
+
+            self._poll_until(core, var, "credits", woken_by, consume)
+
+        def reacquire() -> None:
+            self._lock_acquire(core, lock_var, callback)
+
+        # Snapshot the generation under the condvar's own bakery lock so a
+        # broadcast cannot slip between snapshot and lock release unnoticed
+        # (credits are counting, so signals cannot be lost either way).
+        self._guarded_update(
+            core, var, "gen", lambda v: v, after_snapshot, observe=on_snapshot
+        )
+
+    # ------------------------------------------------------------------
+    # Reader-writer lock: readers/writer words guarded by the bakery lock
+    # ------------------------------------------------------------------
+    def _rw_acquire(self, core, var, callback, write: bool) -> None:
+        def attempt() -> None:
+            outcome: Dict[str, bool] = {}
+
+            def try_take(_old: int, _new: int) -> None:
+                readers = self._words.get((var.addr, "readers"), 0)
+                writer = self._words.get((var.addr, "writer"), 0)
+                if write:
+                    if readers == 0 and writer == 0:
+                        self._words[(var.addr, "writer")] = 1
+                        outcome["granted"] = True
+                    else:
+                        outcome["granted"] = False
+                else:
+                    if writer == 0:
+                        self._words[(var.addr, "readers")] = readers + 1
+                        outcome["granted"] = True
+                    else:
+                        outcome["granted"] = False
+
+            def after_update() -> None:
+                if outcome["granted"]:
+                    callback()
+                else:
+                    self.sim.schedule(
+                        max(self.config.spin_backoff_cycles, 1), attempt
+                    )
+
+            # The guarded field is irrelevant (identity update); try_take
+            # inspects and mutates both rw words inside the critical section.
+            self._guarded_update(
+                core, var, "rw_probe", lambda v: v, after_update, observe=try_take
+            )
+
+        attempt()
+
+    # ------------------------------------------------------------------
+    # Introspection (tests)
+    # ------------------------------------------------------------------
+    def word(self, var: SyncVar, field: str) -> int:
+        return self._words.get((var.addr, field), 0)
+
+    def lock_owner(self, var: SyncVar) -> Optional[int]:
+        state = self._locks.get(var.addr)
+        return state.owner if state else None
+
+    def destroy_var(self, var: SyncVar) -> None:
+        self._locks.pop(var.addr, None)
+        self._sem_initialized.pop(var.addr, None)
+        for field in ("count", "gen", "sem", "credits", "readers", "writer",
+                      "rw_probe"):
+            self._words.pop((var.addr, field), None)

@@ -1,0 +1,46 @@
+"""SynCron's flat variant (Sec. 6.7.1 ablation).
+
+Identical hardware to SynCron (SEs with STs and overflow management), but no
+hierarchy: every core sends each request *directly* to the Master SE of the
+variable, crossing the inter-unit link whenever the variable lives in
+another unit.  Grants travel back the same way.  The paper uses this
+variant to show that only a hierarchical design performs well under high
+contention in non-uniform NDP systems.
+"""
+
+from __future__ import annotations
+
+from repro.core.engine import SynCronMechanism
+from repro.core.messages import REQUEST_BYTES
+
+
+class FlatSynCronMechanism(SynCronMechanism):
+    name = "syncron_flat"
+
+    def _inject(self, core, msg) -> None:
+        master = msg.var.unit
+        if core.unit_id == master:
+            self.stats.sync_messages_local += 1
+        else:
+            self.stats.sync_messages_global += 1
+        latency = self.interconnect.transfer_latency(
+            core.unit_id, master, self.sim.now, REQUEST_BYTES
+        )
+        self.ses[master].receive(
+            msg, self.sim.now + latency, sender=("core", core.core_id)
+        )
+
+    def inject_internal(self, se, msg) -> None:
+        """Flat routing: the lock's Master SE owns the state, so condvar
+        lock release / re-acquire must run there."""
+        master = msg.var.unit
+        target = self.ses[master]
+        depart = self.sim.now + se._extra
+        if target is se:
+            se.sim.schedule_at(depart, lambda: se._enqueue(msg))
+            return
+        self.stats.sync_messages_global += 1
+        latency = self.interconnect.transfer_latency(
+            se.unit, master, depart, msg.bytes
+        )
+        target.receive(msg, depart + latency, sender=("se", se.se_id))

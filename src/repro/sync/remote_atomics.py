@@ -1,0 +1,422 @@
+"""Remote-atomics spin-wait baseline (paper Sec. 2.2.1).
+
+GPUs, MPPs, and the HMC-based NDP design of Gao et al. [43] support atomic
+read-modify-write operations in hardware units at the memory controllers
+(*remote atomics*).  Synchronization primitives built on them use a
+spin-wait scheme: every retry is another rmw message to the variable's
+*fixed* home location.  The paper argues this creates high global traffic
+and hotspots in NDP systems — this module implements that baseline so the
+claim can be measured (see ``benchmarks/bench_ablations.py``).
+
+Implementation sketch (one honest spin algorithm per primitive):
+
+- **Lock** — test-and-set: ``swap(1)``; acquired iff the old value was 0.
+  Release is ``swap(0)``.  Failed attempts retry after a backoff.
+- **Barrier** — sense-reversing counter packed with a generation word:
+  ``packed = generation << 32 | count``.  Arrival is ``fetch_add(1)``; the
+  last arriver's second ``fetch_add((1 << 32) - expected)`` resets the count
+  and bumps the generation in one atomic.  Everyone else spin-loads until
+  the generation advances.
+- **Semaphore** — load + compare-and-swap loop decrementing a positive
+  value (two messages per attempt under contention).
+- **Condition variable** — a credits/generation word
+  (``packed = generation << 32 | credits``): ``signal`` is
+  ``fetch_add(1)`` (one credit, wakes one waiter), ``broadcast`` is
+  ``fetch_add(1 << 32)`` (generation bump, wakes the current waiters).
+  A waiter snapshots the generation, releases the associated lock, spins
+  until the generation advances or it CAS-consumes a credit, then
+  re-acquires the lock with the TAS loop.
+
+Semantic notes (documented differences from the POSIX reference): signals
+posted while nobody waits persist as credits (counting semantics) instead
+of being lost — the standard behaviour of credit-based spin condvars.
+Programs that signal under the lock with a predicate (all our workloads)
+observe identical outcomes.
+
+Every atomic visit and every spin-load travels to the home unit's
+:class:`AtomicUnit` (crossbar, inter-unit link when remote, one DRAM bank
+access, ALU cycle) — exactly the traffic pattern the paper's Sec. 2.2.1
+criticizes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.sim.program import (
+    BARRIER_WAIT_ACROSS_UNITS,
+    BARRIER_WAIT_WITHIN_UNIT,
+    COND_BROADCAST,
+    COND_SIGNAL,
+    COND_WAIT,
+    LOCK_ACQUIRE,
+    LOCK_RELEASE,
+    RW_READ_ACQUIRE,
+    RW_READ_RELEASE,
+    RW_WRITE_ACQUIRE,
+    RW_WRITE_RELEASE,
+    SEM_POST,
+    SEM_WAIT,
+)
+from repro.sim.syncif import MechanismBase, SyncVar
+
+#: bytes of an rmw request / response message (address + opcode + operand).
+RMW_REQUEST_BYTES = 18
+RMW_RESPONSE_BYTES = 10
+
+#: cycles the atomic unit's ALU adds on top of the DRAM bank access.
+ALU_CYCLES = 1
+
+#: generation field shift for the packed barrier / condvar words.
+GEN_SHIFT = 32
+COUNT_MASK = (1 << GEN_SHIFT) - 1
+
+#: writer bit of the reader-writer lock word (low bits count readers).
+WRITER_BIT = 1 << 62
+
+
+def pack(generation: int, count: int) -> int:
+    """Pack a (generation, count) pair into one 64-bit word."""
+    if count < 0 or count > COUNT_MASK:
+        raise ValueError(f"count {count} does not fit the packed word")
+    return (generation << GEN_SHIFT) | count
+
+
+def unpack(word: int) -> Tuple[int, int]:
+    """Split a packed word into (generation, count)."""
+    return word >> GEN_SHIFT, word & COUNT_MASK
+
+
+class AtomicUnit:
+    """The rmw unit at one NDP unit's memory controller.
+
+    A single serially-reused resource: each visit performs one DRAM bank
+    access (the atomic's read-modify-write at the controller) plus an ALU
+    cycle.  Visits are serialized with a reservation cursor; queueing delay
+    emerges under contention — the "hotspot" effect of Sec. 2.2.1.
+    """
+
+    def __init__(self, mech: "RemoteAtomicsMechanism", unit_id: int):
+        self.mech = mech
+        self.unit_id = unit_id
+        self._next_free = 0
+        self.visits = 0
+
+    def visit(self, addr: int, is_write: bool, arrival: int) -> Tuple[int, int]:
+        """Reserve the unit; returns ``(start, completion)`` times."""
+        start = max(arrival, self._next_free)
+        dram = self.mech.system.drams[self.unit_id]
+        service = dram.access(addr, is_write=is_write, now=start) + ALU_CYCLES
+        self._next_free = start + service
+        self.visits += 1
+        self.mech.stats.sync_memory_accesses += 1
+        return start, start + service
+
+
+class RemoteAtomicsMechanism(MechanismBase):
+    """Spin-wait synchronization over remote atomic units (``rmw_spin``)."""
+
+    name = "rmw_spin"
+
+    def __init__(self, system):
+        super().__init__(system)
+        self.atomic_units = [
+            AtomicUnit(self, u) for u in range(self.config.num_units)
+        ]
+        #: word values held at the controllers, keyed by (addr, field).
+        self._fields: Dict[Tuple[int, str], int] = {}
+        self._sem_initialized: Dict[int, bool] = {}
+        self.spin_retries = 0
+
+    # ------------------------------------------------------------------
+    # Low-level: one rmw (or pure load) round trip to the home unit
+    # ------------------------------------------------------------------
+    def _rmw(
+        self,
+        core,
+        var: SyncVar,
+        field: str,
+        fn: Optional[Callable[[int], int]],
+        callback: Callable[[int], None],
+    ) -> None:
+        """Visit ``var``'s atomic unit; ``callback(old_value)`` fires when
+        the response reaches the core.  ``fn=None`` is a pure load."""
+        home = var.unit
+        now = self.sim.now
+        if core.unit_id == home:
+            self.stats.sync_messages_local += 2  # request + response
+        else:
+            self.stats.sync_messages_global += 2
+        latency = self.interconnect.transfer_latency(
+            core.unit_id, home, now, RMW_REQUEST_BYTES
+        )
+        _, done = self.atomic_units[home].visit(
+            var.addr, is_write=fn is not None, arrival=now + latency
+        )
+        key = (var.addr, field)
+        old = self._fields.get(key, 0)
+        if fn is not None:
+            self._fields[key] = fn(old)
+        back = self.interconnect.transfer_latency(
+            home, core.unit_id, done, RMW_RESPONSE_BYTES
+        )
+        self.sim.schedule_at(done + back, lambda: callback(old))
+
+    def _retry(self, core, attempt: Callable[[], None]) -> None:
+        """Schedule the next spin attempt after the configured backoff.
+
+        A small per-core phase offset breaks lockstep so no core can lose
+        every race against an identically-timed rival forever.
+        """
+        self.spin_retries += 1
+        self.stats.extra["spin_retries"] += 1
+        delay = self.config.spin_backoff_cycles + (core.core_id % 7)
+        self.sim.schedule(max(delay, 1), attempt)
+
+    # ------------------------------------------------------------------
+    # Mechanism interface
+    # ------------------------------------------------------------------
+    def request(self, core, op, var, info, callback) -> None:
+        self.stats.sync_requests_total += 1
+        if op == LOCK_ACQUIRE:
+            self._lock_acquire(core, var, callback)
+        elif op == LOCK_RELEASE:
+            self._lock_release(core, var, callback)
+        elif op in (BARRIER_WAIT_WITHIN_UNIT, BARRIER_WAIT_ACROSS_UNITS):
+            self._barrier_wait(core, var, info, callback)
+        elif op == SEM_WAIT:
+            self._sem_wait(core, var, info, callback)
+        elif op == SEM_POST:
+            self._sem_post(core, var, callback)
+        elif op == COND_WAIT:
+            self._cond_wait(core, var, info, callback)
+        elif op == COND_SIGNAL:
+            self._cond_signal(core, var, callback)
+        elif op == COND_BROADCAST:
+            self._cond_broadcast(core, var, callback)
+        elif op == RW_READ_ACQUIRE:
+            self._rw_read_acquire(core, var, callback)
+        elif op == RW_READ_RELEASE:
+            self._rmw(core, var, "rw", lambda w: w - 1, lambda _old: callback())
+        elif op == RW_WRITE_ACQUIRE:
+            self._rw_write_acquire(core, var, callback)
+        elif op == RW_WRITE_RELEASE:
+            self._rmw(
+                core, var, "rw", lambda w: w & ~WRITER_BIT,
+                lambda _old: callback(),
+            )
+        else:
+            raise ValueError(f"unknown sync op {op!r}")
+
+    def request_async(self, core, op, var, info) -> int:
+        # Releases are fire-and-forget: the rmw travels, nobody waits.
+        self.request(core, op, var, info, callback=lambda: None)
+        return 1
+
+    # ------------------------------------------------------------------
+    # Lock: test-and-set spin
+    # ------------------------------------------------------------------
+    def _lock_acquire(self, core, var, callback) -> None:
+        def attempt() -> None:
+            self._rmw(core, var, "lock", lambda _old: 1, on_old)
+
+        def on_old(old: int) -> None:
+            if old == 0:
+                callback()
+            else:
+                self._retry(core, attempt)
+
+        attempt()
+
+    def _lock_release(self, core, var, callback) -> None:
+        self._rmw(core, var, "lock", lambda _old: 0, lambda _old: callback())
+
+    # ------------------------------------------------------------------
+    # Barrier: packed generation/count word
+    # ------------------------------------------------------------------
+    def _barrier_wait(self, core, var, expected: int, callback) -> None:
+        if expected < 1:
+            raise ValueError("barrier needs a positive participant count")
+
+        def on_arrive(old: int) -> None:
+            generation, count = unpack(old)
+            if count + 1 >= expected:
+                # Last arriver: reset the count, bump the generation.
+                self._rmw(
+                    core, var, "bar",
+                    lambda w: w + (1 << GEN_SHIFT) - expected,
+                    lambda _old: callback(),
+                )
+            else:
+                spin(generation)
+
+        def spin(my_generation: int) -> None:
+            def poll() -> None:
+                self._rmw(core, var, "bar", None, on_poll)
+
+            def on_poll(word: int) -> None:
+                generation, _count = unpack(word)
+                if generation > my_generation:
+                    callback()
+                else:
+                    self._retry(core, poll)
+
+            poll()
+
+        self._rmw(core, var, "bar", lambda w: w + 1, on_arrive)
+
+    # ------------------------------------------------------------------
+    # Semaphore: load + CAS loop
+    # ------------------------------------------------------------------
+    def _sem_wait(self, core, var, initial: int, callback) -> None:
+        if not self._sem_initialized.get(var.addr):
+            self._sem_initialized[var.addr] = True
+            self._fields[(var.addr, "sem")] = initial
+
+        def attempt() -> None:
+            self._rmw(core, var, "sem", None, on_load)
+
+        def on_load(value: int) -> None:
+            if value <= 0:
+                self._retry(core, attempt)
+                return
+            # CAS(value -> value - 1); succeeds iff nobody raced us.
+            self._rmw(
+                core, var, "sem",
+                lambda cur: cur - 1 if cur == value else cur,
+                lambda old: callback() if old == value else self._retry(core, attempt),
+            )
+
+        attempt()
+
+    def _sem_post(self, core, var, callback) -> None:
+        self._rmw(core, var, "sem", lambda v: v + 1, lambda _old: callback())
+
+    # ------------------------------------------------------------------
+    # Condition variable: credits + generation word, then lock re-acquire
+    # ------------------------------------------------------------------
+    def _cond_wait(self, core, var, lock_var, callback) -> None:
+        def on_snapshot(word: int) -> None:
+            my_generation, _credits = unpack(word)
+            # Atomically-enough: release the lock, then start polling.  A
+            # signal between snapshot and release is still observed because
+            # credits are counting, not transient.
+            self._rmw(
+                core, lock_var, "lock", lambda _old: 0,
+                lambda _old: spin(my_generation),
+            )
+
+        def spin(my_generation: int) -> None:
+            def poll() -> None:
+                self._rmw(core, var, "cond", None, on_poll)
+
+            def on_poll(word: int) -> None:
+                generation, credits = unpack(word)
+                if generation > my_generation:
+                    reacquire()
+                elif credits > 0:
+                    # CAS-consume one credit.
+                    self._rmw(
+                        core, var, "cond",
+                        lambda cur: cur - 1 if cur == word else cur,
+                        lambda old: reacquire() if old == word
+                        else self._retry(core, poll),
+                    )
+                else:
+                    self._retry(core, poll)
+
+            poll()
+
+        def reacquire() -> None:
+            self._lock_acquire(core, lock_var, callback)
+
+        self._rmw(core, var, "cond", None, on_snapshot)
+
+    def _cond_signal(self, core, var, callback) -> None:
+        self._rmw(core, var, "cond", lambda w: w + 1, lambda _old: callback())
+
+    def _cond_broadcast(self, core, var, callback) -> None:
+        self._rmw(
+            core, var, "cond", lambda w: w + (1 << GEN_SHIFT),
+            lambda _old: callback(),
+        )
+
+    # ------------------------------------------------------------------
+    # Reader-writer lock: writer bit + reader count in one word
+    # ------------------------------------------------------------------
+    # Reader-preference spin scheme (the natural remote-atomics
+    # construction): readers fetch_add(1) and back off when the writer bit
+    # was set; writers CAS 0 -> WRITER_BIT.  Unlike SynCron's fair FIFO,
+    # writers can starve under a steady reader stream — one of the
+    # qualitative deficiencies of spin-based synchronization the paper's
+    # Table 4 alludes to.
+
+    def _rw_read_acquire(self, core, var, callback) -> None:
+        def attempt() -> None:
+            self._rmw(core, var, "rw", lambda w: w + 1, on_old)
+
+        def on_old(old: int) -> None:
+            if old & WRITER_BIT:
+                # Writer active: undo the optimistic increment and retry.
+                self._rmw(
+                    core, var, "rw", lambda w: w - 1,
+                    lambda _old: self._retry(core, attempt),
+                )
+            else:
+                callback()
+
+        attempt()
+
+    def _rw_write_acquire(self, core, var, callback) -> None:
+        def attempt() -> None:
+            self._rmw(
+                core, var, "rw",
+                lambda w: WRITER_BIT if w == 0 else w,
+                lambda old: callback() if old == 0 else self._retry(core, attempt),
+            )
+
+        attempt()
+
+    # ------------------------------------------------------------------
+    # User-level atomic rmw (Sec. 4.4.1): this baseline's native operation
+    # ------------------------------------------------------------------
+    def rmw(self, core, addr: int, op: str, operand: int, callback) -> None:
+        from repro.core.rmw import RMW_OPS
+
+        fn = RMW_OPS.get(op)
+        if fn is None:
+            raise ValueError(f"unknown rmw op {op!r}")
+        home = self.system.addrmap.unit_of(addr)
+        now = self.sim.now
+        if core.unit_id == home:
+            self.stats.sync_messages_local += 2
+        else:
+            self.stats.sync_messages_global += 2
+        self.stats.extra["rmw_ops"] += 1
+        latency = self.interconnect.transfer_latency(
+            core.unit_id, home, now, RMW_REQUEST_BYTES
+        )
+        _, done = self.atomic_units[home].visit(
+            addr, is_write=True, arrival=now + latency
+        )
+        key = (addr, "user")
+        old = self._fields.get(key, 0)
+        self._fields[key] = fn(old, operand)
+        back = self.interconnect.transfer_latency(
+            home, core.unit_id, done, RMW_RESPONSE_BYTES
+        )
+        self.sim.schedule_at(done + back, lambda: callback(old))
+
+    def rmw_value(self, addr: int) -> int:
+        return self._fields.get((addr, "user"), 0)
+
+    # ------------------------------------------------------------------
+    # Introspection (tests)
+    # ------------------------------------------------------------------
+    def field_value(self, var: SyncVar, field: str) -> int:
+        return self._fields.get((var.addr, field), 0)
+
+    def destroy_var(self, var: SyncVar) -> None:
+        for field in ("lock", "bar", "sem", "cond", "rw"):
+            self._fields.pop((var.addr, field), None)
+        self._sem_initialized.pop(var.addr, None)

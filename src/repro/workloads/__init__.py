@@ -1,0 +1,24 @@
+"""Workloads: microbenchmarks, data structures, graphs, time series."""
+
+from repro.workloads.base import (
+    RunMetrics,
+    Workload,
+    collect_metrics,
+    run_workload,
+    scale,
+    scaled,
+)
+from repro.workloads.microbench import PRIMITIVES, PrimitiveMicrobench
+from repro.workloads.timeseries import TimeSeriesWorkload
+
+__all__ = [
+    "PRIMITIVES",
+    "PrimitiveMicrobench",
+    "RunMetrics",
+    "TimeSeriesWorkload",
+    "Workload",
+    "collect_metrics",
+    "run_workload",
+    "scale",
+    "scaled",
+]

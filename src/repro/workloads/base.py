@@ -1,0 +1,141 @@
+"""Workload plumbing shared by every benchmark.
+
+A *workload* builds one program generator per client core of an
+:class:`~repro.sim.system.NDPSystem`, runs them, and reports
+:class:`RunMetrics`: makespan, throughput, energy breakdown and traffic.
+Functional correctness (the data structure's final state, the graph
+kernel's output, the matrix profile) is checked by the workload itself so a
+protocol bug can never masquerade as a speedup.
+
+Scale control: experiment sizes honour the ``REPRO_SCALE`` environment
+variable — ``small`` (default; minutes for the whole suite), ``medium``, or
+``full`` — because pure-Python cycle simulation is ~10^5-10^6 events/s.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.sim.clock import seconds_from_core_cycles
+from repro.sim.config import SystemConfig
+from repro.sim.energy import EnergyBreakdown, compute_energy
+from repro.sim.system import NDPSystem
+
+SCALES = ("small", "medium", "full")
+_SCALE_FACTORS = {"small": 1, "medium": 3, "full": 10}
+
+
+def scale() -> str:
+    """The active experiment scale (``REPRO_SCALE`` env var)."""
+    value = os.environ.get("REPRO_SCALE", "small").lower()
+    if value not in SCALES:
+        raise ValueError(f"REPRO_SCALE must be one of {SCALES}, got {value!r}")
+    return value
+
+
+def scaled(base: int, per_step_factor: float = 1.0) -> int:
+    """Scale a size knob by the active REPRO_SCALE."""
+    factor = _SCALE_FACTORS[scale()]
+    if per_step_factor != 1.0:
+        factor = per_step_factor ** (SCALES.index(scale()))
+    return max(int(base * factor), 1)
+
+
+@dataclass
+class RunMetrics:
+    """Everything a figure needs from one simulation run."""
+
+    mechanism: str
+    cycles: int
+    operations: int
+    energy: EnergyBreakdown
+    bytes_inside_units: int
+    bytes_across_units: int
+    sync_requests: int
+    overflow_request_pct: float
+    st_occupancy_max_pct: float
+    st_occupancy_avg_pct: float
+    stats: Dict[str, float]
+
+    @property
+    def seconds(self) -> float:
+        return seconds_from_core_cycles(self.cycles)
+
+    @property
+    def ops_per_second(self) -> float:
+        return self.operations / self.seconds if self.cycles else 0.0
+
+    @property
+    def ops_per_ms(self) -> float:
+        return self.ops_per_second / 1e3
+
+    @property
+    def total_bytes(self) -> int:
+        return self.bytes_inside_units + self.bytes_across_units
+
+    def speedup_over(self, other: "RunMetrics") -> float:
+        """Makespan speedup of self relative to ``other``."""
+        if self.cycles == 0:
+            return float("inf")
+        return other.cycles / self.cycles
+
+
+def collect_metrics(system: NDPSystem, cycles: int, operations: int) -> RunMetrics:
+    """Snapshot a finished system into :class:`RunMetrics`."""
+    stats = system.stats
+    occupancy = stats.st_occupancy_summary(system.config.st_entries)
+    return RunMetrics(
+        mechanism=system.mechanism_name,
+        cycles=cycles,
+        operations=operations,
+        energy=compute_energy(stats, system.config),
+        bytes_inside_units=stats.bytes_inside_units,
+        bytes_across_units=stats.bytes_across_units,
+        sync_requests=stats.sync_requests_total,
+        overflow_request_pct=stats.overflow_request_pct,
+        st_occupancy_max_pct=occupancy["max_pct"],
+        st_occupancy_avg_pct=occupancy["avg_pct"],
+        stats=stats.as_dict(),
+    )
+
+
+class Workload:
+    """Base class: build programs, run, verify, report."""
+
+    name = "workload"
+
+    def build(self, system: NDPSystem) -> Dict[int, object]:
+        """Return {core_id: program generator}."""
+        raise NotImplementedError
+
+    def verify(self, system: NDPSystem) -> None:
+        """Raise if the functional outcome is wrong (default: nothing)."""
+
+    def operations(self) -> int:
+        """Number of application-level operations performed (for throughput)."""
+        raise NotImplementedError
+
+    def run(self, system: NDPSystem, max_events: Optional[int] = None) -> RunMetrics:
+        programs = self.build(system)
+        cycles = system.run_programs(programs, max_events=max_events)
+        self.verify(system)
+        return collect_metrics(system, cycles, self.operations())
+
+
+def run_workload(
+    workload_factory,
+    config: SystemConfig,
+    mechanism: str,
+    max_events: Optional[int] = None,
+) -> RunMetrics:
+    """Build a fresh system + workload instance and run it once.
+
+    ``workload_factory`` is a zero-argument callable returning a fresh
+    :class:`Workload`; instances are single-use (they allocate addresses and
+    synchronization variables during :meth:`Workload.build`).
+    """
+    system = NDPSystem(config, mechanism=mechanism)
+    workload = workload_factory()
+    return workload.run(system, max_events=max_events)

@@ -1,0 +1,49 @@
+"""Lock-based concurrent data structures (paper Table 6 / Fig. 11).
+
+Contention classes, following the paper's taxonomy:
+
+- **high contention** (few variables, everyone collides): stack, queue,
+  array map, priority queue;
+- **medium contention**: skip list, hash table;
+- **low contention, high sync demand** (lock coupling, ≥2 locks held per
+  core): linked list, BST_FG;
+- **negligible sync**: BST_Drachsler.
+"""
+
+from repro.workloads.datastructures.arraymap import ArrayMapWorkload
+from repro.workloads.datastructures.bst_drachsler import BSTDrachslerWorkload
+from repro.workloads.datastructures.bst_fg import BSTFineGrainedWorkload
+from repro.workloads.datastructures.common import DataStructureWorkload, Node
+from repro.workloads.datastructures.hashtable import HashTableWorkload
+from repro.workloads.datastructures.linkedlist import LinkedListWorkload
+from repro.workloads.datastructures.priority_queue import PriorityQueueWorkload
+from repro.workloads.datastructures.queue import QueueWorkload
+from repro.workloads.datastructures.skiplist import SkipListWorkload
+from repro.workloads.datastructures.stack import StackWorkload
+
+ALL_STRUCTURES = {
+    "stack": StackWorkload,
+    "queue": QueueWorkload,
+    "arraymap": ArrayMapWorkload,
+    "priority_queue": PriorityQueueWorkload,
+    "skiplist": SkipListWorkload,
+    "hashtable": HashTableWorkload,
+    "linkedlist": LinkedListWorkload,
+    "bst_fg": BSTFineGrainedWorkload,
+    "bst_drachsler": BSTDrachslerWorkload,
+}
+
+__all__ = [
+    "ALL_STRUCTURES",
+    "ArrayMapWorkload",
+    "BSTDrachslerWorkload",
+    "BSTFineGrainedWorkload",
+    "DataStructureWorkload",
+    "HashTableWorkload",
+    "LinkedListWorkload",
+    "Node",
+    "PriorityQueueWorkload",
+    "QueueWorkload",
+    "SkipListWorkload",
+    "StackWorkload",
+]

@@ -1,0 +1,58 @@
+"""Array map: a 10-entry key-value map under one global lock (Table 6).
+
+ASCYLIB/OPTIK-style array map: lookups scan the whole array inside the
+critical section, so the critical section is *larger* than the stack's —
+the paper notes this gives the array map the lowest scalability of the
+pointer-chasing set (Fig. 11).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core import api
+from repro.sim.program import Batch, Compute, Load
+from repro.sim.system import NDPSystem
+from repro.workloads.datastructures.common import DataStructureWorkload, Node
+
+
+class ArrayMapWorkload(DataStructureWorkload):
+    name = "arraymap"
+    DEFAULT_OPS = 15
+    MAP_ENTRIES = 10  # Table 6: "10 - 100% lookup"
+
+    def __init__(self, **kwargs):
+        super().__init__(**kwargs)
+        self.lock = None
+        self.entries: List[Node] = []
+        self.hits = 0
+
+    def setup(self, system: NDPSystem) -> None:
+        self.lock = system.create_syncvar(unit=0, name="amap_lock")
+        self.entries = [
+            self.alloc_node(system, key, unit=0) for key in range(self.MAP_ENTRIES)
+        ]
+
+    def core_program(self, system: NDPSystem, core_id: int):
+        rng = self.rng_for_core(core_id)
+
+        def program():
+            for _ in range(self.ops_per_core):
+                key = rng.randrange(self.MAP_ENTRIES)
+                yield api.lock_acquire(self.lock)
+                # scan all entries: key compare per slot (the large CS).
+                scan = []
+                for entry in self.entries:
+                    scan.append(Load(entry.addr, cacheable=False))
+                    scan.append(Compute(2))
+                yield Batch(tuple(scan))
+                if any(entry.key == key for entry in self.entries):
+                    self.hits += 1
+                yield api.lock_release(self.lock)
+                self.record_op()
+
+        return program()
+
+    def check_invariants(self, system: NDPSystem) -> None:
+        if self.hits != self._total_ops:
+            raise AssertionError("array-map lookups must all hit (static keys)")

@@ -1,0 +1,63 @@
+"""Michael-Scott two-lock concurrent queue (Table 6: 100% pop).
+
+Separate head and tail locks [Michael & Scott, PODC'96]; with a 100% pop
+mix, all cores contend on the head lock — high contention, like the stack,
+but with slightly cheaper critical sections.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque
+
+from repro.core import api
+from repro.sim.program import Load, Store
+from repro.sim.system import NDPSystem
+from repro.workloads.base import scaled
+from repro.workloads.datastructures.common import DataStructureWorkload, Node
+
+
+class QueueWorkload(DataStructureWorkload):
+    name = "queue"
+    DEFAULT_OPS = 15
+
+    def __init__(self, initial_size: int = None, **kwargs):
+        super().__init__(**kwargs)
+        self.initial_size = initial_size
+        self.head_lock = None
+        self.tail_lock = None
+        self.head_addr = None
+        self.items: Deque[Node] = deque()
+        self.popped = 0
+
+    def setup(self, system: NDPSystem) -> None:
+        if self.initial_size is None:
+            # enough items for every pop to succeed (100% pop mix).
+            self.initial_size = self.ops_per_core * len(system.cores) + scaled(50)
+        self.head_lock = system.create_syncvar(unit=0, name="q_head_lock")
+        self.tail_lock = system.create_syncvar(unit=1 % system.config.num_units,
+                                               name="q_tail_lock")
+        self.head_addr = system.addrmap.alloc(0, 64, align=64)
+        self.items = deque(
+            self.alloc_node(system, key) for key in range(self.initial_size)
+        )
+
+    def core_program(self, system: NDPSystem, core_id: int):
+        def program():
+            for _ in range(self.ops_per_core):
+                yield api.lock_acquire(self.head_lock)
+                yield Load(self.head_addr, cacheable=False)
+                node = self.items.popleft()
+                self.popped += 1
+                yield Load(node.addr, cacheable=False)   # read payload
+                yield Store(self.head_addr, cacheable=False)
+                yield api.lock_release(self.head_lock)
+                self.record_op()
+
+        return program()
+
+    def check_invariants(self, system: NDPSystem) -> None:
+        if self.popped != self._total_ops:
+            raise AssertionError(f"popped {self.popped}, expected {self._total_ops}")
+        if len(self.items) != self.initial_size - self._total_ops:
+            raise AssertionError("queue size inconsistent with pop count")

@@ -1,0 +1,45 @@
+"""Graph datasets, partitioners, and CRONO-style push kernels."""
+
+from repro.workloads.graphs.datasets import (
+    DATASETS,
+    DATASET_SPECS,
+    Graph,
+    barabasi_albert,
+    load_dataset,
+)
+from repro.workloads.graphs.kernels import (
+    ALL_KERNELS,
+    BFSWorkload,
+    ConnectedComponentsWorkload,
+    PageRankWorkload,
+    SSSPWorkload,
+    TeenageFollowersWorkload,
+    TriangleCountingWorkload,
+)
+from repro.workloads.graphs.partition import (
+    bfs_partition,
+    edge_cut,
+    part_sizes,
+    random_partition,
+)
+from repro.workloads.graphs.runtime import GraphKernelWorkload
+
+__all__ = [
+    "ALL_KERNELS",
+    "BFSWorkload",
+    "ConnectedComponentsWorkload",
+    "DATASETS",
+    "DATASET_SPECS",
+    "Graph",
+    "GraphKernelWorkload",
+    "PageRankWorkload",
+    "SSSPWorkload",
+    "TeenageFollowersWorkload",
+    "TriangleCountingWorkload",
+    "barabasi_albert",
+    "bfs_partition",
+    "edge_cut",
+    "load_dataset",
+    "part_sizes",
+    "random_partition",
+]

@@ -1,0 +1,330 @@
+"""The six CRONO-style graph kernels (paper Table 6, Figs. 12-15, 17, 19, 20).
+
+All are push-style with per-vertex locks on the shared output array; all but
+teenage-followers use barriers between rounds:
+
+- :class:`BFSWorkload` — level-synchronized breadth-first search;
+- :class:`ConnectedComponentsWorkload` — label propagation;
+- :class:`SSSPWorkload` — Bellman-Ford single-source shortest paths;
+- :class:`PageRankWorkload` — push-based PageRank;
+- :class:`TeenageFollowersWorkload` — one-pass counting (locks only);
+- :class:`TriangleCountingWorkload` — neighbourhood intersection.
+
+Each kernel verifies its output against an independent sequential reference
+computed in plain Python, so any mutual-exclusion bug in a mechanism fails
+the run rather than inflating its score.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List
+
+from repro.sim.program import Batch, Compute, Load
+from repro.workloads.graphs.runtime import GraphKernelWorkload
+
+
+class BFSWorkload(GraphKernelWorkload):
+    name = "bfs"
+    max_rounds = 64
+
+    def init_state(self) -> None:
+        n = self.graph.num_vertices
+        self.dist = [float("inf")] * n
+        self.dist[0] = 0
+        self.frontier = {0}
+        self.next_frontier = set()
+
+    def vertex_program(self, system, u: int):
+        if u not in self.frontier:
+            return
+        yield self.read_neighbours(u)
+        base = self.dist[u]
+        for v in self.graph.adjacency[u]:
+            if self.dist[v] > base + 1:  # test (lock-free read)
+                yield from self.locked_update(v)
+                wrote = False
+                if self.dist[v] > base + 1:  # test-and-set under the lock
+                    self.dist[v] = base + 1
+                    self.next_frontier.add(v)
+                    self.mark_changed()
+                    wrote = True
+                yield from self.unlock_after_update(v, wrote)
+        self._edges_processed += self.graph.degree(u)
+
+    def round_finished(self) -> None:
+        self.frontier = self.next_frontier
+        self.next_frontier = set()
+
+    def check_result(self) -> None:
+        reference = _bfs_reference(self.graph.adjacency, source=0)
+        if self.dist != reference:
+            raise AssertionError("BFS distances do not match the reference")
+
+
+class ConnectedComponentsWorkload(GraphKernelWorkload):
+    name = "cc"
+    max_rounds = 64
+
+    def init_state(self) -> None:
+        self.labels = list(range(self.graph.num_vertices))
+
+    def vertex_program(self, system, u: int):
+        yield self.read_neighbours(u)
+        label = self.labels[u]
+        for v in self.graph.adjacency[u]:
+            if self.labels[v] > label:
+                yield from self.locked_update(v)
+                wrote = False
+                if self.labels[v] > label:
+                    self.labels[v] = label
+                    self.mark_changed()
+                    wrote = True
+                yield from self.unlock_after_update(v, wrote)
+        self._edges_processed += self.graph.degree(u)
+
+    def check_result(self) -> None:
+        components = _components_reference(self.graph.adjacency)
+        for comp in components:
+            expected = min(comp)
+            for v in comp:
+                if self.labels[v] != expected:
+                    raise AssertionError("CC labels did not converge")
+
+
+class SSSPWorkload(GraphKernelWorkload):
+    name = "sssp"
+    max_rounds = 64
+
+    def init_state(self) -> None:
+        rng = random.Random(self.seed)
+        self.weights: Dict[tuple, int] = {}
+        for u, v in self.graph.edges():
+            w = rng.randint(1, 10)
+            self.weights[(u, v)] = w
+            self.weights[(v, u)] = w
+        n = self.graph.num_vertices
+        self.dist = [float("inf")] * n
+        self.dist[0] = 0
+
+    def vertex_program(self, system, u: int):
+        if self.dist[u] == float("inf"):
+            return
+        yield self.read_neighbours(u)
+        base = self.dist[u]
+        for v in self.graph.adjacency[u]:
+            candidate = base + self.weights[(u, v)]
+            if self.dist[v] > candidate:
+                yield from self.locked_update(v)
+                wrote = False
+                if self.dist[v] > candidate:
+                    self.dist[v] = candidate
+                    self.mark_changed()
+                    wrote = True
+                yield from self.unlock_after_update(v, wrote)
+        self._edges_processed += self.graph.degree(u)
+
+    def check_result(self) -> None:
+        reference = _dijkstra_reference(self.graph.adjacency, self.weights, 0)
+        if self.dist != reference:
+            raise AssertionError("SSSP distances do not match Dijkstra")
+
+
+class PageRankWorkload(GraphKernelWorkload):
+    name = "pr"
+    max_rounds = 3
+    DAMPING = 0.85
+
+    def init_state(self) -> None:
+        n = self.graph.num_vertices
+        self.rank = [1.0 / n] * n
+        self.next_rank = [(1.0 - self.DAMPING) / n] * n
+        self.rounds_target = self.max_rounds
+
+    def vertex_program(self, system, u: int):
+        yield self.read_neighbours(u)
+        degree = self.graph.degree(u)
+        if degree == 0:
+            return
+        share = self.DAMPING * self.rank[u] / degree
+        for v in self.graph.adjacency[u]:
+            yield from self.locked_update(v)
+            self.next_rank[v] += share
+            yield from self.unlock_after_update(v, wrote=True)
+        self._edges_processed += degree
+        self.mark_changed()
+
+    def round_finished(self) -> None:
+        n = self.graph.num_vertices
+        self.rank = self.next_rank
+        self.next_rank = [(1.0 - self.DAMPING) / n] * n
+        if self._round >= self.rounds_target:
+            self._continue = False
+
+    def check_result(self) -> None:
+        reference = _pagerank_reference(
+            self.graph.adjacency, self.rounds_executed, self.DAMPING
+        )
+        for mine, ref in zip(self.rank, reference):
+            if abs(mine - ref) > 1e-9:
+                raise AssertionError("PageRank drifted from the reference")
+
+
+class TeenageFollowersWorkload(GraphKernelWorkload):
+    """Count, per vertex, its neighbours younger than 20 (locks only)."""
+
+    name = "tf"
+    uses_barriers = False
+
+    def init_state(self) -> None:
+        rng = random.Random(self.seed)
+        n = self.graph.num_vertices
+        self.age = [rng.randint(10, 60) for _ in range(n)]
+        self.followers = [0] * n
+
+    def vertex_program(self, system, u: int):
+        if self.age[u] >= 20:
+            return
+        yield self.read_neighbours(u)
+        for v in self.graph.adjacency[u]:
+            yield from self.locked_update(v)
+            self.followers[v] += 1
+            yield from self.unlock_after_update(v, wrote=True)
+        self._edges_processed += self.graph.degree(u)
+
+    def check_result(self) -> None:
+        n = self.graph.num_vertices
+        expected = [0] * n
+        for u in range(n):
+            if self.age[u] < 20:
+                for v in self.graph.adjacency[u]:
+                    expected[v] += 1
+        if self.followers != expected:
+            raise AssertionError("teenage-follower counts are wrong")
+
+
+class TriangleCountingWorkload(GraphKernelWorkload):
+    name = "tc"
+    max_rounds = 1
+
+    def init_state(self) -> None:
+        self.triangles = [0] * self.graph.num_vertices
+        self._adj_sets = [set(neigh) for neigh in self.graph.adjacency]
+
+    def vertex_program(self, system, u: int):
+        yield self.read_neighbours(u)
+        found = 0
+        compares = 0
+        for v in self.graph.adjacency[u]:
+            if v <= u:
+                continue
+            common = self._adj_sets[u] & self._adj_sets[v]
+            compares += min(len(self._adj_sets[u]), len(self._adj_sets[v]))
+            found += sum(1 for w in common if w > v)
+        yield Compute(4 * compares + 4)
+        if found:
+            yield from self.locked_update(u)
+            self.triangles[u] += found
+            yield from self.unlock_after_update(u, wrote=True)
+        self._edges_processed += self.graph.degree(u)
+
+    def check_result(self) -> None:
+        total = sum(self.triangles)
+        expected = _triangle_reference(self._adj_sets)
+        if total != expected:
+            raise AssertionError(
+                f"triangle count {total} != reference {expected}"
+            )
+
+
+# ----------------------------------------------------------------------
+# Sequential references
+# ----------------------------------------------------------------------
+def _bfs_reference(adjacency, source=0):
+    from collections import deque
+
+    dist = [float("inf")] * len(adjacency)
+    dist[source] = 0
+    queue = deque([source])
+    while queue:
+        u = queue.popleft()
+        for v in adjacency[u]:
+            if dist[v] == float("inf"):
+                dist[v] = dist[u] + 1
+                queue.append(v)
+    return dist
+
+
+def _components_reference(adjacency):
+    n = len(adjacency)
+    seen = [False] * n
+    components = []
+    for start in range(n):
+        if seen[start]:
+            continue
+        stack, comp = [start], []
+        seen[start] = True
+        while stack:
+            u = stack.pop()
+            comp.append(u)
+            for v in adjacency[u]:
+                if not seen[v]:
+                    seen[v] = True
+                    stack.append(v)
+        components.append(comp)
+    return components
+
+
+def _dijkstra_reference(adjacency, weights, source):
+    import heapq
+
+    n = len(adjacency)
+    dist = [float("inf")] * n
+    dist[source] = 0
+    heap = [(0, source)]
+    while heap:
+        d, u = heapq.heappop(heap)
+        if d > dist[u]:
+            continue
+        for v in adjacency[u]:
+            nd = d + weights[(u, v)]
+            if nd < dist[v]:
+                dist[v] = nd
+                heapq.heappush(heap, (nd, v))
+    return dist
+
+
+def _pagerank_reference(adjacency, rounds, damping):
+    n = len(adjacency)
+    rank = [1.0 / n] * n
+    for _ in range(rounds):
+        nxt = [(1.0 - damping) / n] * n
+        for u in range(n):
+            degree = len(adjacency[u])
+            if degree == 0:
+                continue
+            share = damping * rank[u] / degree
+            for v in adjacency[u]:
+                nxt[v] += share
+        rank = nxt
+    return rank
+
+
+def _triangle_reference(adj_sets):
+    total = 0
+    for u in range(len(adj_sets)):
+        for v in adj_sets[u]:
+            if v <= u:
+                continue
+            total += sum(1 for w in adj_sets[u] & adj_sets[v] if w > v)
+    return total
+
+
+ALL_KERNELS = {
+    "bfs": BFSWorkload,
+    "cc": ConnectedComponentsWorkload,
+    "sssp": SSSPWorkload,
+    "pr": PageRankWorkload,
+    "tf": TeenageFollowersWorkload,
+    "tc": TriangleCountingWorkload,
+}

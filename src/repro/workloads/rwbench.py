@@ -1,0 +1,111 @@
+"""Reader-writer lock microbenchmark.
+
+A shared table protected by one rw lock: a configurable fraction of
+operations are lookups (shared mode) and the rest are updates (exclusive
+mode).  Sweeping the read ratio exposes the rw lock's reason to exist —
+at high read ratios a mechanism that grants readers concurrently approaches
+the lock-free Ideal, while a plain mutex serializes everything.
+
+The workload verifies its functional outcome: the update count must equal
+the number of exclusive sections executed, and no lookup may ever observe
+a torn update (enforced with an in-section guard, as in the test suite).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core import api
+from repro.sim.program import Compute
+from repro.sim.system import NDPSystem
+from repro.workloads.base import Workload, scaled
+
+
+class RWLockMicrobench(Workload):
+    """Cores hammer one rw lock with a read-heavy operation mix."""
+
+    def __init__(self, read_pct: int = 90, rounds: int = None,
+                 read_section: int = 60, write_section: int = 60,
+                 mutex_mode: bool = False):
+        if not 0 <= read_pct <= 100:
+            raise ValueError("read_pct must be in [0, 100]")
+        self.name = f"rwbench_r{read_pct}" + ("_mutex" if mutex_mode else "")
+        self.read_pct = read_pct
+        self.rounds = rounds if rounds is not None else scaled(20)
+        self.read_section = read_section
+        self.write_section = write_section
+        #: run the identical mix under a plain mutex (every section
+        #: exclusive) — the baseline the rw lock is measured against.
+        self.mutex_mode = mutex_mode
+        self._state = {
+            "updates": 0, "lookups": 0,
+            "readers": 0, "writer_active": 0, "violations": 0,
+        }
+        self._ops = 0
+
+    # ------------------------------------------------------------------
+    def build(self, system: NDPSystem) -> Dict[int, object]:
+        rwlock = system.create_syncvar(name="rwbench")
+        state = self._state
+        # Deterministic per-core op mix matching read_pct overall.
+        threshold = self.read_pct
+
+        def worker(core_id: int):
+            for round_idx in range(self.rounds):
+                # Spread reads/writes deterministically (no RNG in the
+                # simulated program: runs must be reproducible).
+                is_read = ((core_id * 7 + round_idx * 13) % 100) < threshold
+                if self.mutex_mode:
+                    yield api.lock_acquire(rwlock)
+                    state["writer_active"] += 1
+                    if state["writer_active"] > 1:
+                        state["violations"] += 1
+                    section = self.read_section if is_read else self.write_section
+                    yield Compute(section)
+                    state["writer_active"] -= 1
+                    if is_read:
+                        state["lookups"] += 1
+                    else:
+                        state["updates"] += 1
+                    yield api.lock_release(rwlock)
+                elif is_read:
+                    yield api.rw_read_acquire(rwlock)
+                    state["readers"] += 1
+                    if state["writer_active"]:
+                        state["violations"] += 1
+                    yield Compute(self.read_section)
+                    state["readers"] -= 1
+                    state["lookups"] += 1
+                    yield api.rw_read_release(rwlock)
+                else:
+                    yield api.rw_write_acquire(rwlock)
+                    state["writer_active"] += 1
+                    if state["writer_active"] > 1 or state["readers"]:
+                        state["violations"] += 1
+                    yield Compute(self.write_section)
+                    state["writer_active"] -= 1
+                    state["updates"] += 1
+                    yield api.rw_write_release(rwlock)
+
+        programs = {
+            core.core_id: worker(core.core_id) for core in system.cores
+        }
+        self._ops = self.rounds * len(programs)
+        return programs
+
+    # ------------------------------------------------------------------
+    def verify(self, system: NDPSystem) -> None:
+        state = self._state
+        if state["violations"]:
+            raise AssertionError(
+                f"{self.name}: {state['violations']} shared/exclusive "
+                "violations observed"
+            )
+        if state["updates"] + state["lookups"] != self._ops:
+            raise AssertionError(
+                f"{self.name}: completed {state['updates'] + state['lookups']} "
+                f"operations, expected {self._ops}"
+            )
+
+    def operations(self) -> int:
+        return self._ops

@@ -1,0 +1,175 @@
+"""Parallel connectivity via union-find under a reader-writer lock.
+
+A realistic rw-lock application for the extension experiments: cores stream
+a graph's edges and maintain a union-find forest.  ``find`` operations walk
+parent pointers — shared reads that can proceed concurrently under the read
+lock — while ``union`` operations mutate the forest under the write lock.
+Since most edges of a connected component land inside an existing set,
+real streams are read-dominated: the classic case where an rw lock beats a
+mutex (the optimistic fine-grained variants of concurrent union-find start
+from exactly this observation).
+
+Functional verification: the final components must equal a sequential
+union-find over the same edges.
+
+Timing model: a ``find`` charges one uncacheable parent-pointer load per
+hop (the forest is shared read-write data); a ``union`` charges one store.
+The rw lock (or mutex, in ``mutex_mode``) brackets each operation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.core import api
+from repro.sim.program import Compute, Load, Store
+from repro.sim.system import NDPSystem
+from repro.workloads.base import Workload, scaled
+from repro.workloads.graphs.datasets import Graph, load_dataset
+
+
+class SequentialUnionFind:
+    """Reference implementation (path halving + union by size)."""
+
+    def __init__(self, n: int):
+        self.parent = list(range(n))
+        self.size = [1] * n
+
+    def find(self, x: int) -> int:
+        while self.parent[x] != x:
+            self.parent[x] = self.parent[self.parent[x]]
+            x = self.parent[x]
+        return x
+
+    def union(self, a: int, b: int) -> bool:
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return False
+        if self.size[ra] < self.size[rb]:
+            ra, rb = rb, ra
+        self.parent[rb] = ra
+        self.size[ra] += self.size[rb]
+        return True
+
+    def components(self) -> int:
+        return sum(1 for v in range(len(self.parent)) if self.find(v) == v)
+
+
+class UnionFindWorkload(Workload):
+    """Edge-stream connectivity protected by one rw lock (or mutex)."""
+
+    def __init__(self, dataset: str = "wk", graph: Graph = None,
+                 mutex_mode: bool = False, edge_limit: int = None):
+        self.name = "unionfind" + ("_mutex" if mutex_mode else "_rw")
+        self.dataset = dataset
+        self.graph = graph
+        self.mutex_mode = mutex_mode
+        self.edge_limit = edge_limit
+        self._forest: SequentialUnionFind = None
+        self._edges: List[Tuple[int, int]] = []
+        self._processed = 0
+        self._guard = {"readers": 0, "writer": 0, "violations": 0}
+
+    # ------------------------------------------------------------------
+    def build(self, system: NDPSystem) -> Dict[int, object]:
+        if self.graph is None:
+            self.graph = load_dataset(self.dataset)
+        graph = self.graph
+        n = graph.num_vertices
+        self._forest = SequentialUnionFind(n)
+        limit = self.edge_limit if self.edge_limit is not None else scaled(400)
+        self._edges = list(graph.edges())[:limit]
+
+        rwlock = system.create_syncvar(name="uf_guard")
+        #: the parent array lives in unit 0 (uncacheable shared rw data).
+        parent_base = system.addrmap.alloc(unit=0, nbytes=8 * n)
+        guard = self._guard
+        forest = self._forest
+
+        def find_hops(x: int) -> int:
+            """Pointer-chase length of find(x) *without* mutating."""
+            hops = 1
+            while forest.parent[x] != x:
+                x = forest.parent[x]
+                hops += 1
+            return hops
+
+        def worker(edges):
+            for a, b in edges:
+                # Phase 1: read-locked find on both endpoints.
+                if self.mutex_mode:
+                    yield api.lock_acquire(rwlock)
+                else:
+                    yield api.rw_read_acquire(rwlock)
+                    guard["readers"] += 1
+                    if guard["writer"]:
+                        guard["violations"] += 1
+                hops = find_hops(a) + find_hops(b)
+                same = forest.find(a) == forest.find(b)
+                for _ in range(min(hops, 8)):
+                    yield Load(parent_base + 8 * (a % forest_size),
+                               cacheable=False)
+                yield Compute(4)
+                if self.mutex_mode:
+                    if same:
+                        self._processed += 1
+                        yield api.lock_release(rwlock)
+                        continue
+                else:
+                    guard["readers"] -= 1
+                    yield api.rw_read_release(rwlock)
+                    if same:
+                        self._processed += 1
+                        continue
+                    # Phase 2: the sets differ — upgrade to the write lock
+                    # and re-check (another core may have unioned them).
+                    yield api.rw_write_acquire(rwlock)
+                    guard["writer"] += 1
+                    if guard["writer"] > 1 or guard["readers"]:
+                        guard["violations"] += 1
+                forest.union(a, b)
+                yield Store(parent_base + 8 * (b % forest_size),
+                            cacheable=False)
+                self._processed += 1
+                if self.mutex_mode:
+                    yield api.lock_release(rwlock)
+                else:
+                    guard["writer"] -= 1
+                    yield api.rw_write_release(rwlock)
+
+        forest_size = n
+        cores = system.cores
+        shards: Dict[int, List[Tuple[int, int]]] = {
+            core.core_id: [] for core in cores
+        }
+        for i, edge in enumerate(self._edges):
+            shards[cores[i % len(cores)].core_id].append(edge)
+        return {cid: worker(edges) for cid, edges in shards.items()}
+
+    # ------------------------------------------------------------------
+    def verify(self, system: NDPSystem) -> None:
+        if self._guard["violations"]:
+            raise AssertionError(
+                f"{self.name}: rw-lock exclusion violated "
+                f"{self._guard['violations']} times"
+            )
+        if self._processed != len(self._edges):
+            raise AssertionError(
+                f"{self.name}: processed {self._processed} of "
+                f"{len(self._edges)} edges"
+            )
+        reference = SequentialUnionFind(self.graph.num_vertices)
+        for a, b in self._edges:
+            reference.union(a, b)
+        if self._forest.components() != reference.components():
+            raise AssertionError(
+                f"{self.name}: {self._forest.components()} components, "
+                f"reference found {reference.components()}"
+            )
+
+    def operations(self) -> int:
+        return self._processed
+
+    @property
+    def components(self) -> int:
+        return self._forest.components() if self._forest else 0

@@ -1,0 +1,49 @@
+"""Shared fixtures: small, fast system configurations for unit tests."""
+
+import os
+
+import pytest
+
+# Tests always run at the smallest experiment scale, regardless of the
+# environment the developer exports for benchmarks.
+os.environ["REPRO_SCALE"] = "small"
+
+from repro.sim.config import SystemConfig, ndp_2_5d  # noqa: E402
+from repro.sim.system import NDPSystem  # noqa: E402
+
+
+@pytest.fixture
+def tiny_config() -> SystemConfig:
+    """2 units x 3 clients: enough topology for hierarchy, fast to run."""
+    return ndp_2_5d(num_units=2, cores_per_unit=4, client_cores_per_unit=3)
+
+
+@pytest.fixture
+def quad_config() -> SystemConfig:
+    """4 units x 4 clients: the full-topology variant for protocol tests."""
+    return ndp_2_5d(num_units=4, cores_per_unit=5, client_cores_per_unit=4)
+
+
+@pytest.fixture
+def tiny_system(tiny_config) -> NDPSystem:
+    return NDPSystem(tiny_config, mechanism="syncron")
+
+
+def build_system(config: SystemConfig, mechanism: str = "syncron") -> NDPSystem:
+    return NDPSystem(config, mechanism=mechanism)
+
+
+ALL_MECHANISMS = (
+    "syncron",
+    "syncron_flat",
+    "central",
+    "hier",
+    "ideal",
+    "syncron_central_ovrfl",
+    "syncron_distrib_ovrfl",
+)
+
+#: Sec. 2.2.1 spin-wait baselines.  Kept out of ALL_MECHANISMS because their
+#: condition-variable semantics differ deliberately (credits persist instead
+#: of POSIX lost signals) — see test_spin_baselines.py for their coverage.
+SPIN_MECHANISMS = ("rmw_spin", "bakery")

@@ -1,0 +1,131 @@
+"""Barrier-primitive semantics across mechanisms and modes."""
+
+import pytest
+
+from repro.core import api
+from repro.sim.program import Compute
+
+from conftest import ALL_MECHANISMS, build_system
+
+
+def run_phased_barrier(system, barrier, phases, participants=None):
+    """Each core counts per-phase arrivals; returns the phase log.
+
+    The invariant "no core enters phase p+1 before all arrive at p" is
+    checked in-program: when a core *leaves* the barrier, every participant
+    must already have arrived at that phase.
+    """
+    cores = system.cores if participants is None else participants
+    n = len(cores)
+    arrived = [0] * phases
+    departed = [0] * phases
+
+    def worker(core):
+        for phase in range(phases):
+            yield Compute(1 + core.core_id % 5)
+            arrived[phase] += 1
+            yield api.barrier_wait_across_units(barrier, n)
+            assert arrived[phase] == n, (
+                f"core {core.core_id} left phase {phase} early"
+            )
+            departed[phase] += 1
+
+    system.run_programs({c.core_id: worker(c) for c in cores})
+    return arrived, departed
+
+
+@pytest.mark.parametrize("mechanism", ALL_MECHANISMS)
+class TestBarrierAcrossMechanisms:
+    def test_full_barrier_multiple_phases(self, quad_config, mechanism):
+        system = build_system(quad_config, mechanism)
+        barrier = system.create_syncvar(name="B")
+        n = len(system.cores)
+        arrived, departed = run_phased_barrier(system, barrier, phases=4)
+        assert arrived == [n] * 4
+        assert departed == [n] * 4
+
+    def test_partial_barrier_one_level_mode(self, quad_config, mechanism):
+        """Fewer participants than total clients: SynCron's one-level path."""
+        system = build_system(quad_config, mechanism)
+        barrier = system.create_syncvar(name="B")
+        participants = system.cores[: len(system.cores) // 2]
+        arrived, departed = run_phased_barrier(
+            system, barrier, phases=3, participants=participants
+        )
+        assert arrived == [len(participants)] * 3
+
+
+class TestWithinUnitBarrier:
+    @pytest.mark.parametrize("mechanism", ("syncron", "central", "hier", "ideal"))
+    def test_units_barrier_independently(self, quad_config, mechanism):
+        system = build_system(quad_config, mechanism)
+        bars = {u: system.create_syncvar(unit=u) for u in range(4)}
+        per_unit = quad_config.client_cores_per_unit
+        log = {u: 0 for u in range(4)}
+
+        def worker(core):
+            for _ in range(3):
+                yield Compute(2)
+                yield api.barrier_wait_within_unit(bars[core.unit_id], per_unit)
+            log[core.unit_id] += 1
+
+        system.run_programs({c.core_id: worker(c) for c in system.cores})
+        assert all(count == per_unit for count in log.values())
+
+    def test_within_unit_barrier_sends_no_global_messages(self, quad_config):
+        system = build_system(quad_config, "syncron")
+        bars = {u: system.create_syncvar(unit=u) for u in range(4)}
+        per_unit = quad_config.client_cores_per_unit
+
+        def worker(core):
+            for _ in range(3):
+                yield api.barrier_wait_within_unit(bars[core.unit_id], per_unit)
+
+        system.run_programs({c.core_id: worker(c) for c in system.cores})
+        assert system.stats.sync_messages_global == 0
+
+
+class TestSynCronBarrierInternals:
+    def test_hierarchical_barrier_is_one_message_per_unit(self, quad_config):
+        """Full-system barrier: each remote SE sends one aggregated wait and
+        receives one departure (Sec. 3.2), so global messages per phase is
+        2*(units-1)."""
+        system = build_system(quad_config, "syncron")
+        barrier = system.create_syncvar(unit=0)
+        n = len(system.cores)
+        phases = 5
+
+        def worker():
+            for _ in range(phases):
+                yield api.barrier_wait_across_units(barrier, n)
+
+        system.run_programs({c.core_id: worker() for c in system.cores})
+        expected = 2 * (quad_config.num_units - 1) * phases
+        assert system.stats.sync_messages_global == expected
+
+    def test_barrier_state_cleared_after_each_phase(self, quad_config):
+        system = build_system(quad_config, "syncron")
+        barrier = system.create_syncvar(unit=0)
+        n = len(system.cores)
+
+        def worker():
+            for _ in range(2):
+                yield api.barrier_wait_across_units(barrier, n)
+
+        system.run_programs({c.core_id: worker() for c in system.cores})
+        for se in system.mechanism.ses:
+            assert se.st.occupied == 0
+
+    def test_single_core_barrier_is_immediate(self, tiny_config):
+        system = build_system(tiny_config, "syncron")
+        barrier = system.create_syncvar()
+
+        def worker():
+            yield api.barrier_wait_across_units(barrier, 1)
+
+        cycles = system.run_programs({0: worker()})
+        assert cycles < 500  # a couple of message hops, no waiting
+
+    def test_zero_participants_rejected(self, tiny_system):
+        with pytest.raises(ValueError):
+            api.barrier_wait_across_units(tiny_system.create_syncvar(), 0)

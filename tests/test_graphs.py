@@ -1,0 +1,175 @@
+"""Graph datasets, partitioning, and kernels (verified against networkx)."""
+
+import pytest
+
+from repro.workloads.base import run_workload
+from repro.workloads.graphs import (
+    ALL_KERNELS,
+    BFSWorkload,
+    ConnectedComponentsWorkload,
+    DATASETS,
+    PageRankWorkload,
+    SSSPWorkload,
+    TeenageFollowersWorkload,
+    TriangleCountingWorkload,
+    barabasi_albert,
+    bfs_partition,
+    edge_cut,
+    load_dataset,
+    part_sizes,
+    random_partition,
+)
+
+networkx = pytest.importorskip("networkx")
+
+
+SMALL_GRAPH = barabasi_albert(60, 2, seed=42)
+
+
+class TestDatasets:
+    def test_generator_produces_valid_graph(self):
+        SMALL_GRAPH.validate()
+        assert SMALL_GRAPH.num_vertices == 60
+        assert SMALL_GRAPH.num_edges >= 2 * (60 - 3)
+
+    def test_graph_is_connected(self):
+        g = networkx.Graph()
+        g.add_edges_from(SMALL_GRAPH.edges())
+        assert networkx.is_connected(g)
+
+    def test_degree_distribution_is_skewed(self):
+        """Preferential attachment must produce hubs (power-law-ish)."""
+        degrees = sorted(SMALL_GRAPH.degree(v) for v in range(60))
+        assert degrees[-1] >= 3 * degrees[len(degrees) // 2]
+
+    def test_deterministic_for_a_seed(self):
+        again = barabasi_albert(60, 2, seed=42)
+        assert again.adjacency == SMALL_GRAPH.adjacency
+
+    def test_named_datasets_scale_ordering(self):
+        sizes = {name: load_dataset(name).num_vertices for name in DATASETS}
+        assert sizes["wk"] < sizes["sl"] < sizes["sx"] < sizes["co"]
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(ValueError):
+            load_dataset("zz")
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            barabasi_albert(3, 3, seed=0)
+
+
+class TestPartitioning:
+    def test_random_partition_is_balanced(self):
+        assignment = random_partition(SMALL_GRAPH, 4, seed=1)
+        sizes = part_sizes(assignment, 4)
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_bfs_partition_is_balanced(self):
+        assignment = bfs_partition(SMALL_GRAPH, 4)
+        sizes = part_sizes(assignment, 4)
+        assert max(sizes) - min(sizes) <= 4
+
+    def test_bfs_partition_cuts_fewer_edges_than_random(self):
+        """The Fig. 19 premise: the METIS substitute reduces the edge cut."""
+        graph = barabasi_albert(200, 2, seed=9)
+        cut_random = edge_cut(graph, random_partition(graph, 4, seed=3))
+        cut_bfs = edge_cut(graph, bfs_partition(graph, 4))
+        assert cut_bfs < cut_random
+
+    def test_edge_cut_of_single_part_is_zero(self):
+        assert edge_cut(SMALL_GRAPH, [0] * 60) == 0
+
+    def test_mismatched_assignment_rejected(self):
+        with pytest.raises(ValueError):
+            edge_cut(SMALL_GRAPH, [0, 1])
+
+
+class TestKernelsAgainstNetworkx:
+    """Each kernel's internal reference is itself checked against networkx
+    here, so the simulated runs are verified against two independent
+    implementations."""
+
+    def nx_graph(self):
+        g = networkx.Graph()
+        g.add_nodes_from(range(SMALL_GRAPH.num_vertices))
+        g.add_edges_from(SMALL_GRAPH.edges())
+        return g
+
+    def test_bfs_distances(self, tiny_config):
+        workload = BFSWorkload(graph=SMALL_GRAPH)
+        run_metrics = run_workload(lambda: workload, tiny_config, "syncron")
+        expected = networkx.single_source_shortest_path_length(self.nx_graph(), 0)
+        for v in range(SMALL_GRAPH.num_vertices):
+            assert workload.dist[v] == expected[v]
+
+    def test_cc_labels(self, tiny_config):
+        workload = ConnectedComponentsWorkload(graph=SMALL_GRAPH)
+        run_workload(lambda: workload, tiny_config, "syncron")
+        for comp in networkx.connected_components(self.nx_graph()):
+            expected = min(comp)
+            assert all(workload.labels[v] == expected for v in comp)
+
+    def test_sssp_distances(self, tiny_config):
+        workload = SSSPWorkload(graph=SMALL_GRAPH)
+        run_workload(lambda: workload, tiny_config, "syncron")
+        g = self.nx_graph()
+        for u, v in g.edges():
+            g[u][v]["weight"] = workload.weights[(u, v)]
+        expected = networkx.single_source_dijkstra_path_length(g, 0)
+        for v in range(SMALL_GRAPH.num_vertices):
+            assert workload.dist[v] == expected[v]
+
+    def test_triangle_count(self, tiny_config):
+        workload = TriangleCountingWorkload(graph=SMALL_GRAPH)
+        run_workload(lambda: workload, tiny_config, "syncron")
+        expected = sum(networkx.triangles(self.nx_graph()).values()) // 3
+        assert sum(workload.triangles) == expected
+
+    def test_pagerank_matches_power_iteration(self, tiny_config):
+        workload = PageRankWorkload(graph=SMALL_GRAPH)
+        run_workload(lambda: workload, tiny_config, "syncron")
+        assert abs(sum(workload.rank) - 1.0) < 1e-6
+
+    def test_teenage_followers(self, tiny_config):
+        workload = TeenageFollowersWorkload(graph=SMALL_GRAPH)
+        run_workload(lambda: workload, tiny_config, "syncron")
+        teens = [v for v in range(60) if workload.age[v] < 20]
+        total = sum(workload.followers)
+        assert total == sum(SMALL_GRAPH.degree(v) for v in teens)
+
+
+@pytest.mark.parametrize("kernel", sorted(ALL_KERNELS))
+@pytest.mark.parametrize("mechanism", ("central", "hier", "syncron", "ideal"))
+def test_kernels_verify_on_all_mechanisms(tiny_config, kernel, mechanism):
+    cls = ALL_KERNELS[kernel]
+    metrics = run_workload(
+        lambda: cls(graph=SMALL_GRAPH), tiny_config, mechanism
+    )
+    assert metrics.cycles > 0
+
+
+class TestKernelPlumbing:
+    def test_vertices_assigned_to_owning_units_cores(self, quad_config):
+        from conftest import build_system
+
+        system = build_system(quad_config)
+        workload = BFSWorkload(graph=SMALL_GRAPH)
+        workload.build(system)
+        for core in system.cores:
+            for v in workload._my_vertices[core.core_id]:
+                assert workload.assignment[v] == core.unit_id
+
+    def test_vertex_locks_live_in_partition_unit(self, quad_config):
+        from conftest import build_system
+
+        system = build_system(quad_config)
+        workload = ConnectedComponentsWorkload(graph=SMALL_GRAPH)
+        workload.build(system)
+        for v in range(SMALL_GRAPH.num_vertices):
+            assert workload.vertex_lock[v].unit == workload.assignment[v]
+
+    def test_rounds_bounded(self, tiny_config):
+        workload = ConnectedComponentsWorkload(graph=SMALL_GRAPH)
+        run_workload(lambda: workload, tiny_config, "syncron")
+        assert workload.rounds_executed <= workload.max_rounds

@@ -1,0 +1,168 @@
+"""Lock-primitive semantics across every mechanism.
+
+Mutual exclusion is checked *inside* the simulated programs: a guard flag is
+set while a core is in its critical section, so any double-grant fails the
+run immediately rather than corrupting a counter silently.
+"""
+
+import pytest
+
+from repro.core import api
+from repro.sim.program import Compute
+
+from conftest import ALL_MECHANISMS, build_system
+
+
+def run_lock_workload(system, lock, ops_per_core, cs_instructions=10):
+    """All cores hammer one lock; returns (counter, max_concurrency)."""
+    state = {"counter": 0, "inside": 0, "max_inside": 0}
+
+    def worker():
+        for _ in range(ops_per_core):
+            yield api.lock_acquire(lock)
+            state["inside"] += 1
+            state["max_inside"] = max(state["max_inside"], state["inside"])
+            state["counter"] += 1
+            yield Compute(cs_instructions)
+            state["inside"] -= 1
+            yield api.lock_release(lock)
+
+    system.run_programs({c.core_id: worker() for c in system.cores})
+    return state
+
+
+@pytest.mark.parametrize("mechanism", ALL_MECHANISMS)
+class TestLockAcrossMechanisms:
+    def test_mutual_exclusion_and_no_lost_updates(self, tiny_config, mechanism):
+        system = build_system(tiny_config, mechanism)
+        lock = system.create_syncvar(name="L")
+        state = run_lock_workload(system, lock, ops_per_core=8)
+        assert state["max_inside"] == 1, "two cores inside the critical section"
+        assert state["counter"] == 8 * len(system.cores)
+
+    def test_many_independent_locks(self, tiny_config, mechanism):
+        system = build_system(tiny_config, mechanism)
+        locks = [system.create_syncvar() for _ in range(6)]
+        counters = [0] * len(locks)
+
+        def worker(core_id):
+            for i in range(6):
+                idx = (core_id + i) % len(locks)
+                yield api.lock_acquire(locks[idx])
+                counters[idx] += 1
+                yield api.lock_release(locks[idx])
+
+        system.run_programs(
+            {c.core_id: worker(c.core_id) for c in system.cores}
+        )
+        assert sum(counters) == 6 * len(system.cores)
+
+    def test_remote_master_lock(self, tiny_config, mechanism):
+        """Variable homed in unit 1; cores of unit 0 must still synchronize."""
+        system = build_system(tiny_config, mechanism)
+        lock = system.create_syncvar(unit=1)
+        state = run_lock_workload(system, lock, ops_per_core=5)
+        assert state["max_inside"] == 1
+        assert state["counter"] == 5 * len(system.cores)
+
+
+class TestSynCronLockInternals:
+    def test_st_entries_released_after_quiescence(self, tiny_config):
+        system = build_system(tiny_config, "syncron")
+        lock = system.create_syncvar()
+        run_lock_workload(system, lock, ops_per_core=4)
+        for se in system.mechanism.ses:
+            assert se.st.occupied == 0
+            assert se.counters.total_active == 0
+            assert len(se.store) == 0
+
+    def test_hierarchy_aggregates_global_traffic(self, quad_config):
+        """SynCron must send far fewer inter-unit messages than flat."""
+        results = {}
+        for mech in ("syncron", "syncron_flat"):
+            system = build_system(quad_config, mech)
+            lock = system.create_syncvar(unit=0)
+            run_lock_workload(system, lock, ops_per_core=6)
+            results[mech] = system.stats.sync_messages_global
+        assert results["syncron"] < results["syncron_flat"]
+
+    def test_local_se_serves_local_requests_without_master(self, quad_config):
+        """Back-to-back local requests reuse control (Sec. 3.2): the number
+        of global messages is far below one per acquire."""
+        system = build_system(quad_config, "syncron")
+        lock = system.create_syncvar(unit=0)
+        # Only cores of unit 3 compete: their SE takes control once per burst.
+        cores = system.cores_in_unit(3)
+        state = {"counter": 0}
+
+        def worker():
+            for _ in range(10):
+                yield api.lock_acquire(lock)
+                state["counter"] += 1
+                yield api.lock_release(lock)
+
+        system.run_programs({c.core_id: worker() for c in cores})
+        assert state["counter"] == 10 * len(cores)
+        acquires = 10 * len(cores)
+        assert system.stats.sync_messages_global < acquires
+
+    def test_grant_wakes_exactly_the_pending_core(self, tiny_config):
+        system = build_system(tiny_config, "syncron")
+        lock = system.create_syncvar()
+        order = []
+
+        def worker(core_id):
+            yield api.lock_acquire(lock)
+            order.append(core_id)
+            yield Compute(50)
+            yield api.lock_release(lock)
+
+        system.run_programs({c.core_id: worker(c.core_id) for c in system.cores})
+        assert sorted(order) == [c.core_id for c in system.cores]
+
+    def test_release_of_unowned_lock_raises(self, tiny_config):
+        from repro.core.protocol import ProtocolError
+
+        system = build_system(tiny_config, "syncron")
+        lock = system.create_syncvar(unit=0)
+
+        def bad():
+            yield api.lock_acquire(lock)
+            yield api.lock_release(lock)
+
+        def stray():
+            yield Compute(5000)
+            yield api.lock_release(lock)  # never acquired
+
+        with pytest.raises(ProtocolError):
+            system.run_programs({0: bad(), 1: stray()})
+
+
+class TestLockFairness:
+    def test_fairness_threshold_bounds_local_streak(self, quad_config):
+        """With the Sec. 4.4.2 counter, a unit cannot monopolize the lock."""
+        grants = {"with": [], "without": []}
+        for label, threshold in (("without", 0), ("with", 2)):
+            config = quad_config.with_(fairness_threshold=threshold)
+            system = build_system(config, "syncron")
+            lock = system.create_syncvar(unit=0)
+            order = []
+
+            def worker(core):
+                for _ in range(6):
+                    yield api.lock_acquire(lock)
+                    order.append(core.unit_id)
+                    yield Compute(5)
+                    yield api.lock_release(lock)
+
+            system.run_programs(
+                {c.core_id: worker(c) for c in system.cores}
+            )
+            # longest run of consecutive grants to the same unit
+            longest = current = 1
+            for a, b in zip(order, order[1:]):
+                current = current + 1 if a == b else 1
+                longest = max(longest, current)
+            grants[label] = longest
+        assert grants["with"] <= grants["without"]
+        assert grants["with"] <= 2 + 1  # threshold + the in-flight grant

@@ -1,0 +1,163 @@
+"""Terminal plotting: pure string builders, so properties are checkable."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.harness.plotting import (
+    BAR_CHAR,
+    bar_chart,
+    grouped_bar_chart,
+    line_chart,
+    sparkline,
+    stacked_bar_chart,
+)
+
+
+class TestBarChart:
+    def test_largest_value_fills_width(self):
+        chart = bar_chart({"a": 1.0, "b": 4.0}, width=20)
+        lines = chart.splitlines()
+        assert lines[1].count(BAR_CHAR) == 20
+        assert lines[0].count(BAR_CHAR) == 5
+
+    def test_title_is_first_line(self):
+        chart = bar_chart({"a": 1.0}, title="speedup")
+        assert chart.splitlines()[0] == "speedup"
+
+    def test_empty_input(self):
+        assert "(no data)" in bar_chart({}, title="t")
+
+    def test_pinned_scale_keeps_bars_comparable(self):
+        solo = bar_chart({"a": 2.0}, width=10, max_value=4.0)
+        assert solo.splitlines()[0].count(BAR_CHAR) == 5
+
+    def test_values_beyond_scale_are_clamped(self):
+        chart = bar_chart({"a": 10.0}, width=10, max_value=4.0)
+        assert chart.splitlines()[0].count(BAR_CHAR) == 10
+
+    def test_labels_aligned(self):
+        chart = bar_chart({"x": 1.0, "longer": 2.0}, width=4)
+        lines = chart.splitlines()
+        assert lines[0].index("|") == lines[1].index("|")
+
+    @given(st.dictionaries(
+        st.text(st.characters(min_codepoint=97, max_codepoint=122),
+                min_size=1, max_size=8),
+        st.floats(min_value=0.0, max_value=1e9, allow_nan=False),
+        min_size=1, max_size=8,
+    ))
+    def test_never_overflows_width(self, items):
+        width = 24
+        for line in bar_chart(items, width=width).splitlines():
+            start = line.index("|")
+            end = line.index("|", start + 1)
+            assert end - start - 1 == width
+
+
+class TestLineChart:
+    ROWS = [
+        {"x": 1, "a": 1.0, "b": 2.0},
+        {"x": 10, "a": 2.0, "b": 1.0},
+        {"x": 100, "a": 3.0, "b": 0.5},
+    ]
+
+    def test_contains_series_marks_and_legend(self):
+        chart = line_chart(self.ROWS, "x", ("a", "b"))
+        assert "o=a" in chart
+        assert "x=b" in chart
+        assert "o" in chart
+        assert "x" in chart
+
+    def test_log_x_spreads_decades(self):
+        chart = line_chart(self.ROWS, "x", ("a",), log_x=True, width=41)
+        grid_lines = [l for l in chart.splitlines() if "|" in l]
+        # With log x the x=10 point lands mid-grid, not at 9% of the width.
+        marked_cols = sorted(
+            line.index("o", line.index("|")) - line.index("|") - 1
+            for line in grid_lines if "o" in line
+        )
+        assert marked_cols[1] == pytest.approx(20, abs=2)
+
+    def test_colliding_points_become_plus(self):
+        rows = [{"x": 1, "a": 1.0, "b": 1.0}]
+        chart = line_chart(rows, "a" and "x", ("a", "b"))
+        assert "+" in chart
+
+    def test_missing_series_values_skipped(self):
+        rows = [{"x": 1, "a": 1.0}, {"x": 2}]
+        chart = line_chart(rows, "x", ("a",))
+        assert "o" in chart
+
+    def test_empty_rows(self):
+        assert "(no data)" in line_chart([], "x", ("a",), title="t")
+
+    def test_constant_series_does_not_crash(self):
+        rows = [{"x": 1, "a": 5.0}, {"x": 2, "a": 5.0}]
+        chart = line_chart(rows, "x", ("a",))
+        assert "o" in chart
+
+
+class TestSparkline:
+    def test_monotonic_values_monotonic_glyphs(self):
+        line = sparkline([1, 2, 3, 4])
+        assert line == "".join(sorted(line))
+
+    def test_constant_series(self):
+        assert len(sparkline([3, 3, 3])) == 3
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6,
+                              allow_nan=False), max_size=50))
+    def test_length_matches_input(self, values):
+        assert len(sparkline(values)) == len(values)
+
+
+class TestStackedBars:
+    ROWS = [
+        {"app": "bfs", "cache": 1.0, "network": 2.0, "memory": 1.0},
+        {"app": "cc", "cache": 0.0, "network": 0.0, "memory": 4.0},
+    ]
+
+    def test_bar_width_fixed(self):
+        chart = stacked_bar_chart(self.ROWS, "app", ("cache", "network", "memory"),
+                                  width=16)
+        bars = [l for l in chart.splitlines() if l.rstrip().endswith("|")]
+        for bar in bars:
+            start = bar.index("|")
+            assert bar.index("|", start + 1) - start - 1 == 16
+
+    def test_proportions(self):
+        chart = stacked_bar_chart(self.ROWS, "app", ("cache", "network", "memory"),
+                                  width=16)
+        bfs_bar = next(l for l in chart.splitlines() if l.startswith("bfs"))
+        assert bfs_bar.count("#") == 4   # cache: 1/4 of 16
+        assert bfs_bar.count("=") == 8   # network: 2/4
+        cc_bar = next(l for l in chart.splitlines() if l.startswith("cc"))
+        assert cc_bar.count("+") == 16   # memory only
+
+    def test_zero_total_row_renders_empty(self):
+        rows = [{"app": "x", "cache": 0.0, "network": 0.0}]
+        chart = stacked_bar_chart(rows, "app", ("cache", "network"), width=8)
+        assert "|        |" in chart
+
+    def test_legend_present(self):
+        chart = stacked_bar_chart(self.ROWS, "app", ("cache", "network"))
+        assert "#=cache" in chart
+        assert "==network" in chart
+
+
+class TestGroupedBars:
+    def test_shared_scale_across_groups(self):
+        rows = [
+            {"app": "a", "hier": 1.0, "syncron": 2.0},
+            {"app": "b", "hier": 4.0, "syncron": 4.0},
+        ]
+        chart = grouped_bar_chart(rows, "app", ("hier", "syncron"), width=20)
+        lines = chart.splitlines()
+        # group a's syncron bar (2.0) is half of group b's (4.0 -> full 20).
+        a_syncron = next(
+            l for l in lines if l.startswith("syncron") and "| 2" in l
+        )
+        assert a_syncron.count(BAR_CHAR) == 10

@@ -1,0 +1,230 @@
+"""Property-based tests (hypothesis): the distributed SynCron protocol is
+checked against the timing-free reference semantics under randomized
+programs, configurations, and interleavings."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core import api
+from repro.sim.config import ndp_2_5d
+from repro.sim.program import Compute
+from repro.sim.system import NDPSystem
+
+SETTINGS = dict(
+    deadline=None,
+    max_examples=12,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def make_system(num_units=2, clients=3, st_entries=64, mechanism="syncron"):
+    config = ndp_2_5d(
+        num_units=num_units,
+        cores_per_unit=clients + 1,
+        client_cores_per_unit=clients,
+        st_entries=st_entries,
+    )
+    return NDPSystem(config, mechanism=mechanism)
+
+
+# a per-core schedule: list of (lock_index, cs_length, think_time)
+core_schedule = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=5),
+        st.integers(min_value=0, max_value=40),
+        st.integers(min_value=0, max_value=60),
+    ),
+    min_size=0,
+    max_size=8,
+)
+
+
+@settings(**SETTINGS)
+@given(schedules=st.lists(core_schedule, min_size=1, max_size=6),
+       st_entries=st.sampled_from([2, 4, 64]),
+       mechanism=st.sampled_from(["syncron", "syncron_flat", "hier"]))
+def test_random_lock_programs_preserve_mutual_exclusion(
+    schedules, st_entries, mechanism
+):
+    system = make_system(st_entries=st_entries, mechanism=mechanism)
+    locks = [system.create_syncvar() for _ in range(6)]
+    holders = {lock.addr: None for lock in locks}
+    completed = [0]
+
+    def worker(core_id, schedule):
+        for lock_idx, cs_len, think in schedule:
+            lock = locks[lock_idx]
+            yield Compute(think)
+            yield api.lock_acquire(lock)
+            assert holders[lock.addr] is None, "mutual exclusion violated"
+            holders[lock.addr] = core_id
+            yield Compute(cs_len)
+            holders[lock.addr] = None
+            yield api.lock_release(lock)
+            completed[0] += 1
+
+    programs = {
+        system.cores[i].core_id: worker(i, schedule)
+        for i, schedule in enumerate(schedules[: len(system.cores)])
+    }
+    system.run_programs(programs)
+    assert completed[0] == sum(
+        len(s) for s in schedules[: len(system.cores)]
+    )
+
+
+@settings(**SETTINGS)
+@given(pair_schedules=st.lists(
+    st.lists(
+        st.tuples(st.integers(0, 4), st.integers(0, 4)),
+        min_size=0, max_size=5,
+    ),
+    min_size=1, max_size=6,
+), st_entries=st.sampled_from([2, 64]))
+def test_two_lock_programs_never_deadlock_or_corrupt(pair_schedules, st_entries):
+    """Cores take lock pairs in ascending index order (deadlock-free by
+    construction); the protocol must neither deadlock nor double-grant even
+    when the ST constantly overflows."""
+    system = make_system(st_entries=st_entries)
+    locks = [system.create_syncvar() for _ in range(6)]
+    held = set()
+
+    def worker(schedule):
+        for a, b in schedule:
+            first, second = sorted((a, min(b + 1, 5))) if a != b else (a, None)
+            yield api.lock_acquire(locks[first])
+            assert locks[first].addr not in held
+            held.add(locks[first].addr)
+            if second is not None and second != first:
+                yield api.lock_acquire(locks[second])
+                assert locks[second].addr not in held
+                held.add(locks[second].addr)
+            yield Compute(10)
+            if second is not None and second != first:
+                held.discard(locks[second].addr)
+                yield api.lock_release(locks[second])
+            held.discard(locks[first].addr)
+            yield api.lock_release(locks[first])
+
+    programs = {
+        system.cores[i].core_id: worker(schedule)
+        for i, schedule in enumerate(pair_schedules[: len(system.cores)])
+    }
+    system.run_programs(programs)
+    # quiescence: all hardware state drained.
+    for se in system.mechanism.ses:
+        assert se.st.occupied == 0
+        assert se.counters.total_active == 0
+
+
+@settings(**SETTINGS)
+@given(counts=st.lists(st.integers(min_value=1, max_value=5), min_size=2,
+                       max_size=6),
+       initial=st.integers(min_value=1, max_value=3))
+def test_semaphore_never_overadmits(counts, initial):
+    # initial >= 1: with zero resources and wait-before-post workers, the
+    # program itself (not the mechanism) would deadlock.
+    system = make_system()
+    sem = system.create_syncvar()
+    state = {"inside": 0, "max": 0}
+    total_posts = sum(counts)
+
+    def waiter(n):
+        for _ in range(n):
+            yield api.sem_wait(sem, initial)
+            state["inside"] += 1
+            state["max"] = max(state["max"], state["inside"])
+            yield Compute(15)
+            state["inside"] -= 1
+            yield api.sem_post(sem)
+
+    programs = {
+        system.cores[i].core_id: waiter(n)
+        for i, n in enumerate(counts[: len(system.cores)])
+    }
+    system.run_programs(programs)
+    assert state["max"] <= initial + len(programs)
+    assert state["inside"] == 0
+
+
+@settings(**SETTINGS)
+@given(phases=st.integers(min_value=1, max_value=5),
+       participants=st.integers(min_value=2, max_value=6),
+       st_entries=st.sampled_from([1, 64]))
+def test_barrier_phase_atomicity(phases, participants, st_entries):
+    system = make_system(st_entries=st_entries)
+    participants = min(participants, len(system.cores))
+    bar = system.create_syncvar()
+    arrived = [0] * phases
+
+    def worker(core_id):
+        for p in range(phases):
+            yield Compute((core_id * 7 + p * 3) % 25)
+            arrived[p] += 1
+            yield api.barrier_wait_across_units(bar, participants)
+            assert arrived[p] == participants
+
+    programs = {
+        system.cores[i].core_id: worker(i) for i in range(participants)
+    }
+    system.run_programs(programs)
+    assert arrived == [participants] * phases
+
+
+@settings(**SETTINGS)
+@given(seed=st.integers(min_value=0, max_value=2 ** 16))
+def test_determinism_same_seed_same_makespan(seed):
+    """Two identical runs produce identical cycle counts."""
+    import random
+
+    def one_run():
+        system = make_system()
+        locks = [system.create_syncvar() for _ in range(4)]
+
+        def worker(core_id):
+            rng = random.Random(seed ^ core_id)
+            for _ in range(5):
+                lock = locks[rng.randrange(4)]
+                yield api.lock_acquire(lock)
+                yield Compute(rng.randrange(30))
+                yield api.lock_release(lock)
+
+        system.run_programs(
+            {c.core_id: worker(c.core_id) for c in system.cores}
+        )
+        return system.sim.now
+
+    assert one_run() == one_run()
+
+
+@settings(**SETTINGS)
+@given(n=st.integers(min_value=10, max_value=80),
+       m=st.integers(min_value=1, max_value=4),
+       seed=st.integers(min_value=0, max_value=1000))
+def test_generated_graphs_are_well_formed(n, m, seed):
+    from repro.workloads.graphs import barabasi_albert
+
+    if n <= m:
+        n = m + 2
+    graph = barabasi_albert(n, m, seed)
+    graph.validate()  # symmetry, no self-loops, no duplicates
+    assert all(graph.degree(v) >= m for v in range(n))
+
+
+@settings(**SETTINGS)
+@given(n=st.integers(min_value=20, max_value=100),
+       parts=st.integers(min_value=2, max_value=5),
+       seed=st.integers(min_value=0, max_value=50))
+def test_partitions_cover_all_vertices(n, parts, seed):
+    from repro.workloads.graphs import (
+        barabasi_albert, bfs_partition, part_sizes, random_partition,
+    )
+
+    graph = barabasi_albert(n, 2, seed)
+    for assignment in (
+        random_partition(graph, parts, seed),
+        bfs_partition(graph, parts),
+    ):
+        assert len(assignment) == n
+        assert all(0 <= p < parts for p in assignment)
+        assert sum(part_sizes(assignment, parts)) == n

@@ -1,0 +1,186 @@
+"""RMW extension, energy accounting, stats, and harness smoke tests."""
+
+import pytest
+
+from repro.core import api
+from repro.core.rmw import RMW_OPS, RmwExtension
+from repro.sim.config import ndp_2_5d
+from repro.sim.energy import compute_energy
+from repro.sim.program import Compute, Load
+from repro.sim.stats import SystemStats
+
+from conftest import build_system
+
+
+class TestRmwExtension:
+    def test_fetch_add_serializes_at_master(self, tiny_config):
+        system = build_system(tiny_config, "syncron")
+        rmw = RmwExtension(system.mechanism)
+        addr = system.addrmap.alloc(0, 8)
+        olds = []
+
+        def issue(core, count):
+            def do(remaining):
+                if remaining == 0:
+                    return
+                rmw.rmw(core, addr, "fetch_add", 1,
+                        lambda old: (olds.append(old), do(remaining - 1)))
+
+            do(count)
+
+        for core in system.cores:
+            issue(core, 3)
+        system.sim.run()
+        assert rmw.value(addr) == 3 * len(system.cores)
+        # atomicity: every intermediate value observed exactly once.
+        assert sorted(olds) == list(range(3 * len(system.cores)))
+
+    def test_all_ops_have_correct_semantics(self):
+        assert RMW_OPS["fetch_add"](5, 3) == 8
+        assert RMW_OPS["fetch_and"](0b1100, 0b1010) == 0b1000
+        assert RMW_OPS["fetch_or"](0b1100, 0b0011) == 0b1111
+        assert RMW_OPS["fetch_xor"](0b1100, 0b1010) == 0b0110
+        assert RMW_OPS["swap"](7, 9) == 9
+        assert RMW_OPS["fetch_max"](4, 9) == 9
+        assert RMW_OPS["fetch_min"](4, 9) == 4
+
+    def test_unknown_op_rejected(self, tiny_config):
+        system = build_system(tiny_config)
+        rmw = RmwExtension(system.mechanism)
+        with pytest.raises(ValueError):
+            rmw.rmw(system.cores[0], 0, "fetch_mul", 2, lambda old: None)
+
+    def test_remote_rmw_counts_global_messages(self, tiny_config):
+        system = build_system(tiny_config)
+        rmw = RmwExtension(system.mechanism)
+        addr = system.addrmap.alloc(1, 8)  # master in unit 1
+        rmw.rmw(system.cores[0], addr, "fetch_add", 1, lambda old: None)
+        system.sim.run()
+        assert system.stats.sync_messages_global == 2  # request + response
+
+
+class TestEnergyModel:
+    def test_components_track_their_events(self):
+        config = ndp_2_5d()
+        stats = SystemStats()
+        zero = compute_energy(stats, config)
+        assert zero.total_pj == 0
+
+        stats.cache_hits = 10
+        stats.local_bit_hops = 100
+        stats.dram_reads = 2
+        breakdown = compute_energy(stats, config)
+        assert breakdown.cache_pj == 10 * config.energy.cache_hit_pj
+        assert breakdown.network_pj == pytest.approx(
+            100 * config.energy.local_network_pj_per_bit_hop
+        )
+        assert breakdown.memory_pj == pytest.approx(
+            2 * 64 * 8 * config.memory.energy_pj_per_bit
+        )
+
+    def test_link_traffic_dominates_network_energy(self):
+        config = ndp_2_5d()
+        stats = SystemStats()
+        stats.bytes_across_units = 1000
+        cross = compute_energy(stats, config).network_pj
+        stats2 = SystemStats()
+        stats2.local_bit_hops = 1000 * 8 * 2
+        local = compute_energy(stats2, config).network_pj
+        assert cross > local  # 4 pJ/bit link vs 0.4 pJ/bit/hop NoC
+
+    def test_normalization(self):
+        config = ndp_2_5d()
+        stats = SystemStats()
+        stats.cache_hits = 10
+        base = compute_energy(stats, config)
+        norm = base.normalized(base)
+        assert norm["total"] == pytest.approx(1.0)
+
+    def test_syncron_saves_energy_vs_central(self, quad_config):
+        from repro.workloads.base import run_workload
+        from repro.workloads.datastructures import StackWorkload
+
+        energies = {}
+        for mech in ("central", "syncron"):
+            metrics = run_workload(
+                lambda: StackWorkload(ops_per_core=6), quad_config, mech
+            )
+            energies[mech] = metrics.energy.total_pj
+        assert energies["syncron"] < energies["central"]
+
+
+class TestStats:
+    def test_occupancy_summary(self):
+        stats = SystemStats()
+        stats.record_st_occupancy(0, 10)
+        stats.record_st_occupancy(0, 20)
+        stats.record_st_occupancy(1, 40)
+        summary = stats.st_occupancy_summary(64)
+        assert summary["max_pct"] == pytest.approx(100 * 40 / 64)
+        assert stats.st_occupancy_avg(0) == pytest.approx(15.0)
+
+    def test_overflow_pct(self):
+        stats = SystemStats()
+        assert stats.overflow_request_pct == 0.0
+        stats.sync_requests_total = 10
+        stats.st_overflow_requests = 3
+        assert stats.overflow_request_pct == pytest.approx(30.0)
+
+    def test_as_dict_roundtrip(self):
+        stats = SystemStats()
+        stats.cache_hits = 5
+        snapshot = stats.as_dict()
+        assert snapshot["cache_hits"] == 5
+
+
+class TestHarnessSmoke:
+    """Every experiment function runs end-to-end with minimal parameters."""
+
+    def test_fig10(self):
+        from repro.harness.experiments import fig10
+
+        rows = fig10("lock", intervals=(200,), rounds=4,
+                     mechanisms=("central", "syncron"))
+        assert rows[0]["syncron"] > 0
+
+    def test_fig11(self):
+        from repro.harness.experiments import fig11
+
+        rows = fig11("stack", core_steps=(15,), mechanisms=("central", "syncron"))
+        assert rows[0]["syncron"] > 0
+
+    def test_fig12_and_headline(self):
+        from repro.harness.experiments import fig12, headline_summary
+
+        rows = fig12(combos=("tc.wk",),
+                     mechanisms=("central", "hier", "syncron", "ideal"))
+        summary = headline_summary(rows)
+        assert summary["syncron_vs_central"] >= 1.0
+
+    def test_fig22(self):
+        from repro.harness.experiments import fig22
+
+        rows = fig22(combos=("tc.wk",), st_sizes=(64, 4))
+        assert rows[0]["ST_64"] == pytest.approx(1.0)
+
+    def test_table7(self):
+        from repro.harness.experiments import table7
+
+        rows = table7(combos=("tc.wk",))
+        assert 0 <= rows[0]["avg_pct"] <= rows[0]["max_pct"] <= 100
+
+    def test_reporting(self):
+        from repro.harness.reporting import format_table, geomean, summarize_speedups
+
+        rows = [{"app": "x", "a": 1.0, "b": 2.0}, {"app": "y", "a": 1.0, "b": 4.0}]
+        text = format_table(rows, title="T")
+        assert "app" in text and "2.000" in text
+        assert geomean([2.0, 8.0]) == pytest.approx(4.0)
+        summary = summarize_speedups(rows, "b", "a")
+        assert summary["max"] == pytest.approx(4.0)
+        assert summary["avg"] == pytest.approx(geomean([2.0, 4.0]))
+
+    def test_format_table_empty(self):
+        from repro.harness.reporting import format_table
+
+        assert "(no rows)" in format_table([], title="x")

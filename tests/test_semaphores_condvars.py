@@ -1,0 +1,171 @@
+"""Semaphore and condition-variable semantics across mechanisms."""
+
+import pytest
+
+from repro.core import api
+from repro.sim.program import Compute
+
+from conftest import ALL_MECHANISMS, build_system
+
+MECHS = tuple(m for m in ALL_MECHANISMS)
+
+
+@pytest.mark.parametrize("mechanism", MECHS)
+class TestSemaphore:
+    def test_bounded_resource_pool(self, tiny_config, mechanism):
+        """A semaphore with K resources never admits more than K holders."""
+        system = build_system(tiny_config, mechanism)
+        sem = system.create_syncvar(name="S")
+        K = 2
+        state = {"inside": 0, "max_inside": 0, "completed": 0}
+
+        def worker():
+            for _ in range(4):
+                yield api.sem_wait(sem, K)
+                state["inside"] += 1
+                state["max_inside"] = max(state["max_inside"], state["inside"])
+                yield Compute(30)
+                state["inside"] -= 1
+                state["completed"] += 1
+                yield api.sem_post(sem)
+
+        system.run_programs({c.core_id: worker() for c in system.cores})
+        assert state["max_inside"] <= K
+        assert state["completed"] == 4 * len(system.cores)
+
+    def test_producer_consumer(self, tiny_config, mechanism):
+        system = build_system(tiny_config, mechanism)
+        sem = system.create_syncvar(name="S")
+        items = {"produced": 0, "consumed": 0}
+        rounds = 5
+
+        def producer():
+            for _ in range(rounds):
+                yield Compute(20)
+                items["produced"] += 1
+                yield api.sem_post(sem)
+
+        def consumer():
+            for _ in range(rounds):
+                yield api.sem_wait(sem, 0)
+                items["consumed"] += 1
+                assert items["consumed"] <= items["produced"]
+
+        programs = {}
+        cores = system.cores
+        half = len(cores) // 2
+        for i, core in enumerate(cores[: 2 * half]):
+            programs[core.core_id] = consumer() if i < half else producer()
+        system.run_programs(programs)
+        assert items["consumed"] == rounds * half
+
+    def test_initial_resources_admit_without_post(self, tiny_config, mechanism):
+        system = build_system(tiny_config, mechanism)
+        sem = system.create_syncvar()
+
+        def worker():
+            yield api.sem_wait(sem, len(system.cores))
+
+        cycles = system.run_programs(
+            {c.core_id: worker() for c in system.cores}
+        )
+        assert cycles >= 0  # run_programs returning means no deadlock
+
+
+@pytest.mark.parametrize("mechanism", MECHS)
+class TestConditionVariable:
+    def test_signal_wakes_one_waiter_with_lock_held(self, tiny_config, mechanism):
+        system = build_system(tiny_config, mechanism)
+        lock = system.create_syncvar(name="CL")
+        cond = system.create_syncvar(name="CV")
+        state = {"waiting": 0, "woken": 0, "lock_holder": None}
+        cores = system.cores
+        half = len(cores) // 2
+
+        def waiter(core):
+            yield api.lock_acquire(lock)
+            state["waiting"] += 1
+            yield api.cond_wait(cond, lock)
+            # pthread contract: the lock is re-held on wakeup.
+            assert state["lock_holder"] is None
+            state["lock_holder"] = core.core_id
+            state["woken"] += 1
+            state["lock_holder"] = None
+            yield api.lock_release(lock)
+
+        def signaler():
+            sent = 0
+            while sent < half:
+                yield Compute(100)
+                yield api.lock_acquire(lock)
+                if state["waiting"] > state["woken"] + sent - 0:
+                    pass
+                if state["waiting"] > 0:
+                    state["waiting"] -= 1
+                    yield api.cond_signal(cond)
+                    sent += 1
+                yield api.lock_release(lock)
+
+        programs = {}
+        for i, core in enumerate(cores[: half]):
+            programs[core.core_id] = waiter(core)
+        programs[cores[half].core_id] = signaler()
+        system.run_programs(programs)
+        assert state["woken"] == half
+
+    def test_broadcast_wakes_everyone(self, tiny_config, mechanism):
+        system = build_system(tiny_config, mechanism)
+        lock = system.create_syncvar()
+        cond = system.create_syncvar()
+        state = {"waiting": 0, "woken": 0}
+        cores = system.cores
+        waiters = cores[:-1]
+
+        def waiter():
+            yield api.lock_acquire(lock)
+            state["waiting"] += 1
+            yield api.cond_wait(cond, lock)
+            state["woken"] += 1
+            yield api.lock_release(lock)
+
+        def broadcaster():
+            while True:
+                yield Compute(200)
+                yield api.lock_acquire(lock)
+                ready = state["waiting"] == len(waiters)
+                if ready:
+                    yield api.cond_broadcast(cond)
+                    yield api.lock_release(lock)
+                    return
+                yield api.lock_release(lock)
+
+        programs = {c.core_id: waiter() for c in waiters}
+        programs[cores[-1].core_id] = broadcaster()
+        system.run_programs(programs)
+        assert state["woken"] == len(waiters)
+
+    def test_signal_without_waiters_is_lost(self, tiny_config, mechanism):
+        system = build_system(tiny_config, mechanism)
+        cond = system.create_syncvar()
+
+        def signaler():
+            yield api.cond_signal(cond)
+            yield Compute(10)
+
+        cycles = system.run_programs({0: signaler()})
+        assert cycles > 0  # completes; nothing hangs
+
+
+class TestVariableKinds:
+    def test_variable_cannot_change_primitive(self, tiny_system):
+        from repro.core.protocol import ProtocolError
+
+        var = tiny_system.create_syncvar()
+
+        def program():
+            yield api.lock_acquire(var)
+            yield api.lock_release(var)
+            yield api.sem_wait(var, 1)
+
+        with pytest.raises(ProtocolError):
+            tiny_system.run_programs({0: program()})

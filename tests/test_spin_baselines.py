@@ -1,0 +1,387 @@
+"""The Sec. 2.2.1 spin-wait baselines: remote atomics and Lamport bakery.
+
+Semantics tests mirror the cross-mechanism suites (mutual exclusion, barrier
+phases, bounded semaphores, producer/consumer condvars) and are joined by
+cost-model tests for the claims the baselines exist to demonstrate: spinning
+hammers the variable's home unit (traffic, retries) and the bakery scan cost
+grows with the core count.
+"""
+
+import pytest
+
+from repro.core import api
+from repro.sim.config import ndp_2_5d
+from repro.sim.program import Compute
+from repro.sim.system import NDPSystem
+from repro.sync.bakery import BakeryMechanism, _BakeryLockState
+from repro.sync.remote_atomics import (
+    GEN_SHIFT,
+    RemoteAtomicsMechanism,
+    WRITER_BIT,
+    pack,
+    unpack,
+)
+
+from conftest import SPIN_MECHANISMS, build_system
+
+
+# ----------------------------------------------------------------------
+# Packed-word helpers
+# ----------------------------------------------------------------------
+class TestPackedWords:
+    def test_pack_unpack_roundtrip(self):
+        for generation, count in [(0, 0), (1, 5), (123, 456), (7, (1 << 32) - 1)]:
+            assert unpack(pack(generation, count)) == (generation, count)
+
+    def test_pack_rejects_oversized_count(self):
+        with pytest.raises(ValueError):
+            pack(0, 1 << 32)
+
+    def test_fetch_add_rollover_resets_count_and_bumps_generation(self):
+        """The last barrier arriver's single fetch_add must atomically
+        reset the count and advance the generation."""
+        expected = 6
+        word = pack(3, expected - 1)
+        word += 1  # this arrival fills the barrier
+        word += (1 << GEN_SHIFT) - expected
+        assert unpack(word) == (4, 0)
+
+    def test_writer_bit_does_not_collide_with_reader_counts(self):
+        assert WRITER_BIT > (1 << 32)
+        word = WRITER_BIT
+        assert word & WRITER_BIT
+        assert (word + 5) - WRITER_BIT == 5
+
+
+# ----------------------------------------------------------------------
+# Primitive semantics on both baselines
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("mechanism", SPIN_MECHANISMS)
+class TestSpinPrimitives:
+    def test_lock_mutual_exclusion(self, tiny_config, mechanism):
+        system = build_system(tiny_config, mechanism)
+        lock = system.create_syncvar(name="L")
+        state = {"counter": 0, "inside": 0, "max_inside": 0}
+
+        def worker():
+            for _ in range(6):
+                yield api.lock_acquire(lock)
+                state["inside"] += 1
+                state["max_inside"] = max(state["max_inside"], state["inside"])
+                state["counter"] += 1
+                yield Compute(10)
+                state["inside"] -= 1
+                yield api.lock_release(lock)
+
+        system.run_programs({c.core_id: worker() for c in system.cores})
+        assert state["max_inside"] == 1
+        assert state["counter"] == 6 * len(system.cores)
+
+    def test_lock_on_remote_unit(self, tiny_config, mechanism):
+        system = build_system(tiny_config, mechanism)
+        lock = system.create_syncvar(unit=1)
+        state = {"counter": 0}
+
+        def worker():
+            for _ in range(4):
+                yield api.lock_acquire(lock)
+                state["counter"] += 1
+                yield api.lock_release(lock)
+
+        system.run_programs(
+            {c.core_id: worker() for c in system.cores_in_unit(0)}
+        )
+        assert state["counter"] == 4 * len(system.cores_in_unit(0))
+
+    def test_barrier_separates_phases(self, tiny_config, mechanism):
+        system = build_system(tiny_config, mechanism)
+        bar = system.create_syncvar(name="B")
+        n = len(system.cores)
+        phase_counts = [0, 0, 0]
+        errors = []
+
+        def worker():
+            for phase in range(3):
+                # Before arriving, earlier phases must be fully populated.
+                for earlier in range(phase):
+                    if phase_counts[earlier] != n:
+                        errors.append((phase, earlier, phase_counts[earlier]))
+                phase_counts[phase] += 1
+                yield api.barrier_wait_across_units(bar, n)
+
+        system.run_programs({c.core_id: worker() for c in system.cores})
+        assert not errors
+        assert phase_counts == [n, n, n]
+
+    def test_barrier_is_reusable(self, tiny_config, mechanism):
+        """Generation-based barriers must not deadlock across many phases."""
+        system = build_system(tiny_config, mechanism)
+        bar = system.create_syncvar(name="B")
+        n = len(system.cores)
+
+        def worker():
+            for _ in range(8):
+                yield api.barrier_wait_across_units(bar, n)
+
+        makespan = system.run_programs(
+            {c.core_id: worker() for c in system.cores}
+        )
+        assert makespan > 0
+
+    def test_semaphore_bounds_concurrency(self, tiny_config, mechanism):
+        system = build_system(tiny_config, mechanism)
+        sem = system.create_syncvar(name="S")
+        K = 2
+        state = {"inside": 0, "max_inside": 0, "completed": 0}
+
+        def worker():
+            for _ in range(3):
+                yield api.sem_wait(sem, K)
+                state["inside"] += 1
+                state["max_inside"] = max(state["max_inside"], state["inside"])
+                yield Compute(30)
+                state["inside"] -= 1
+                state["completed"] += 1
+                yield api.sem_post(sem)
+
+        system.run_programs({c.core_id: worker() for c in system.cores})
+        assert state["max_inside"] <= K
+        assert state["completed"] == 3 * len(system.cores)
+
+    def test_condvar_producer_consumer(self, tiny_config, mechanism):
+        system = build_system(tiny_config, mechanism)
+        cond = system.create_syncvar(name="C")
+        lock = system.create_syncvar(name="CL")
+        box = {"ready": 0, "consumed": 0}
+        cores = system.cores
+        half = len(cores) // 2
+        rounds = 3
+
+        def producer():
+            for _ in range(rounds):
+                yield api.lock_acquire(lock)
+                box["ready"] += 1
+                yield api.lock_release(lock)
+                yield api.cond_signal(cond)
+                yield Compute(40)
+
+        def consumer():
+            for _ in range(rounds):
+                yield api.lock_acquire(lock)
+                while box["ready"] == 0:
+                    yield api.cond_wait(cond, lock)
+                box["ready"] -= 1
+                box["consumed"] += 1
+                yield api.lock_release(lock)
+
+        programs = {}
+        for i, core in enumerate(cores):
+            programs[core.core_id] = producer() if i < half else consumer()
+        system.run_programs(programs)
+        assert box["consumed"] == rounds * (len(cores) - half)
+        assert box["ready"] >= 0
+
+    def test_condvar_broadcast_wakes_everyone(self, tiny_config, mechanism):
+        system = build_system(tiny_config, mechanism)
+        cond = system.create_syncvar(name="C")
+        lock = system.create_syncvar(name="CL")
+        flags = {"go": False, "woken": 0}
+        cores = system.cores
+        waiters = cores[:-1]
+
+        def waiter():
+            yield api.lock_acquire(lock)
+            while not flags["go"]:
+                yield api.cond_wait(cond, lock)
+            flags["woken"] += 1
+            yield api.lock_release(lock)
+
+        def broadcaster():
+            yield Compute(500)
+            yield api.lock_acquire(lock)
+            flags["go"] = True
+            yield api.lock_release(lock)
+            yield api.cond_broadcast(cond)
+
+        programs = {c.core_id: waiter() for c in waiters}
+        programs[cores[-1].core_id] = broadcaster()
+        system.run_programs(programs)
+        assert flags["woken"] == len(waiters)
+
+    def test_signal_credit_persists(self, tiny_config, mechanism):
+        """The documented semantic difference: a signal posted before any
+        waiter arrives is consumed by the next waiter (counting credits),
+        unlike the POSIX lost signal."""
+        system = build_system(tiny_config, mechanism)
+        cond = system.create_syncvar(name="C")
+        lock = system.create_syncvar(name="CL")
+        done = {"woken": False}
+        cores = system.cores
+
+        def early_signaller():
+            yield api.cond_signal(cond)
+
+        def late_waiter():
+            yield Compute(2000)
+            yield api.lock_acquire(lock)
+            yield api.cond_wait(cond, lock)
+            done["woken"] = True
+            yield api.lock_release(lock)
+
+        system.run_programs(
+            {
+                cores[0].core_id: early_signaller(),
+                cores[1].core_id: late_waiter(),
+            }
+        )
+        assert done["woken"]
+
+    def test_variable_destroy_clears_state(self, tiny_config, mechanism):
+        system = build_system(tiny_config, mechanism)
+        lock = system.create_syncvar(name="L")
+
+        def worker():
+            yield api.lock_acquire(lock)
+            yield api.lock_release(lock)
+
+        system.run_programs({system.cores[0].core_id: worker()})
+        system.destroy_syncvar(lock)
+        mech = system.mechanism
+        if isinstance(mech, RemoteAtomicsMechanism):
+            assert mech.field_value(lock, "lock") == 0
+        else:
+            assert mech.lock_owner(lock) is None
+
+
+# ----------------------------------------------------------------------
+# Cost-model claims (why these baselines exist)
+# ----------------------------------------------------------------------
+class TestSpinCostModel:
+    def _contended_run(self, mechanism: str, ops: int = 6):
+        config = ndp_2_5d(num_units=2, cores_per_unit=4, client_cores_per_unit=3)
+        system = NDPSystem(config, mechanism=mechanism)
+        lock = system.create_syncvar(unit=0)
+        state = {"counter": 0}
+
+        def worker():
+            for _ in range(ops):
+                yield api.lock_acquire(lock)
+                state["counter"] += 1
+                yield Compute(20)
+                yield api.lock_release(lock)
+
+        makespan = system.run_programs({c.core_id: worker() for c in system.cores})
+        return system, makespan
+
+    def test_spinning_generates_retries_under_contention(self):
+        system, _ = self._contended_run("rmw_spin")
+        assert system.mechanism.spin_retries > 0
+        assert system.stats.extra["spin_retries"] == system.mechanism.spin_retries
+
+    def test_spin_traffic_exceeds_syncron(self):
+        """Consecutive rmw retries to the home unit must generate more
+        inter-unit messages than SynCron's hierarchical aggregation."""
+        spin, _ = self._contended_run("rmw_spin")
+        syncron, _ = self._contended_run("syncron")
+        assert spin.stats.sync_messages_global > syncron.stats.sync_messages_global
+
+    def test_syncron_faster_than_spin_under_contention(self):
+        _, spin_time = self._contended_run("rmw_spin")
+        _, syncron_time = self._contended_run("syncron")
+        assert syncron_time < spin_time
+
+    def test_bakery_scan_cost_scales_with_core_count(self):
+        """O(N) loads per attempt: doubling the clients should more than
+        double the synchronization memory accesses per acquire."""
+        per_acquire = {}
+        for clients in (2, 4):
+            config = ndp_2_5d(
+                num_units=1, cores_per_unit=clients + 1,
+                client_cores_per_unit=clients,
+            )
+            system = NDPSystem(config, mechanism="bakery")
+            lock = system.create_syncvar(unit=0)
+
+            def worker():
+                for _ in range(4):
+                    yield api.lock_acquire(lock)
+                    yield api.lock_release(lock)
+
+            system.run_programs({c.core_id: worker() for c in system.cores})
+            acquires = 4 * clients
+            per_acquire[clients] = system.stats.sync_memory_accesses / acquires
+        assert per_acquire[4] > 1.5 * per_acquire[2]
+
+    def test_bakery_slower_than_remote_atomics(self):
+        _, bakery_time = self._contended_run("bakery", ops=3)
+        _, spin_time = self._contended_run("rmw_spin", ops=3)
+        assert bakery_time > spin_time
+
+    def test_atomic_unit_serializes_visits(self):
+        system, _ = self._contended_run("rmw_spin")
+        mech = system.mechanism
+        total_visits = sum(u.visits for u in mech.atomic_units)
+        # Every lock acquire needs >=1 visit; the contended home unit sees
+        # nearly all of them.
+        assert total_visits >= system.stats.sync_requests_total
+        assert mech.atomic_units[0].visits > mech.atomic_units[1].visits
+
+    def test_backoff_config_changes_retry_count(self):
+        """Longer backoff means fewer (but longer-spaced) retries."""
+        retries = {}
+        for backoff in (8, 256):
+            config = ndp_2_5d(
+                num_units=2, cores_per_unit=4, client_cores_per_unit=3,
+                spin_backoff_cycles=backoff,
+            )
+            system = NDPSystem(config, mechanism="rmw_spin")
+            lock = system.create_syncvar(unit=0)
+
+            def worker():
+                for _ in range(5):
+                    yield api.lock_acquire(lock)
+                    yield Compute(20)
+                    yield api.lock_release(lock)
+
+            system.run_programs({c.core_id: worker() for c in system.cores})
+            retries[backoff] = system.mechanism.spin_retries
+        assert retries[256] < retries[8]
+
+
+# ----------------------------------------------------------------------
+# Bakery internals
+# ----------------------------------------------------------------------
+class TestBakeryLockState:
+    def test_fifo_ticket_order(self):
+        state = _BakeryLockState()
+        assert state.take_ticket(3) is True
+        assert state.take_ticket(1) is False
+        assert state.take_ticket(2) is False
+        state.release(3)
+        assert state.owner == 1
+        state.release(1)
+        assert state.owner == 2
+        state.release(2)
+        assert state.owner is None
+
+    def test_release_by_non_owner_raises(self):
+        state = _BakeryLockState()
+        state.take_ticket(5)
+        with pytest.raises(RuntimeError):
+            state.release(7)
+
+    def test_scan_rounds_counted(self, tiny_config):
+        system = build_system(tiny_config, "bakery")
+        lock = system.create_syncvar()
+
+        def worker():
+            for _ in range(3):
+                yield api.lock_acquire(lock)
+                yield Compute(50)
+                yield api.lock_release(lock)
+
+        system.run_programs({c.core_id: worker() for c in system.cores})
+        mech = system.mechanism
+        assert isinstance(mech, BakeryMechanism)
+        assert mech.scan_rounds > 0
+        assert system.stats.extra["bakery_scans"] == mech.scan_rounds

@@ -1,0 +1,108 @@
+"""Union-find connectivity under a reader-writer lock."""
+
+import pytest
+
+from repro.sim.config import ndp_2_5d
+from repro.workloads.base import run_workload
+from repro.workloads.graphs.datasets import Graph, load_dataset
+from repro.workloads.unionfind import SequentialUnionFind, UnionFindWorkload
+
+from conftest import build_system
+
+
+class TestSequentialUnionFind:
+    def test_singletons(self):
+        forest = SequentialUnionFind(5)
+        assert forest.components() == 5
+
+    def test_union_merges(self):
+        forest = SequentialUnionFind(4)
+        assert forest.union(0, 1) is True
+        assert forest.union(2, 3) is True
+        assert forest.components() == 2
+        assert forest.union(1, 2) is True
+        assert forest.components() == 1
+
+    def test_redundant_union_returns_false(self):
+        forest = SequentialUnionFind(3)
+        forest.union(0, 1)
+        assert forest.union(1, 0) is False
+
+    def test_find_is_idempotent_after_path_halving(self):
+        forest = SequentialUnionFind(6)
+        for a, b in [(0, 1), (1, 2), (2, 3), (3, 4)]:
+            forest.union(a, b)
+        root = forest.find(0)
+        assert all(forest.find(v) == root for v in range(5))
+        assert forest.find(5) == 5
+
+    def test_union_by_size_keeps_larger_root(self):
+        forest = SequentialUnionFind(5)
+        forest.union(0, 1)
+        forest.union(0, 2)   # component of size 3 rooted somewhere
+        big_root = forest.find(0)
+        forest.union(3, 4)
+        forest.union(0, 3)
+        assert forest.find(3) == big_root
+
+
+@pytest.mark.parametrize("mechanism", ("syncron", "ideal", "rmw_spin"))
+class TestUnionFindWorkload:
+    def test_components_match_reference(self, tiny_config, mechanism):
+        system = build_system(tiny_config, mechanism)
+        workload = UnionFindWorkload("wk", edge_limit=150)
+        workload.run(system)  # verify() raises on any divergence
+        assert workload.components >= 1
+
+    def test_mutex_mode_same_outcome(self, tiny_config, mechanism):
+        components = {}
+        for mode in (False, True):
+            system = build_system(tiny_config, mechanism)
+            workload = UnionFindWorkload("wk", mutex_mode=mode, edge_limit=150)
+            workload.run(system)
+            components[mode] = workload.components
+        assert components[False] == components[True]
+
+
+class TestUnionFindCost:
+    def test_rw_lock_beats_mutex_on_read_dominated_stream(self):
+        """Dense graphs make most edges redundant (same-set finds), so the
+        read-locked phase dominates and the rw lock wins."""
+        config = ndp_2_5d(num_units=2, cores_per_unit=4, client_cores_per_unit=3)
+        cycles = {}
+        for mode in (False, True):
+            metrics = run_workload(
+                lambda: UnionFindWorkload("wk", mutex_mode=mode, edge_limit=300),
+                config, "syncron",
+            )
+            cycles[mode] = metrics.cycles
+        assert cycles[False] < cycles[True]
+
+    def test_every_edge_processed_once(self, tiny_config):
+        system = build_system(tiny_config, "syncron")
+        workload = UnionFindWorkload("wk", edge_limit=120)
+        metrics = workload.run(system)
+        assert metrics.operations == 120
+
+    def test_disconnected_graph(self, tiny_config):
+        """Two cliques with no crossing edges: exactly 2 components (plus
+        untouched isolated vertices)."""
+        adjacency = [[] for _ in range(8)]
+        for group in (range(0, 4), range(4, 8)):
+            group = list(group)
+            for i in group:
+                for j in group:
+                    if i != j:
+                        adjacency[i].append(j)
+        graph = Graph(name="cliques", num_vertices=8, adjacency=adjacency, seed=1)
+        system = build_system(tiny_config, "syncron")
+        workload = UnionFindWorkload(graph=graph)
+        workload.run(system)
+        assert workload.components == 2
+
+    def test_edge_limit_caps_work(self, tiny_config):
+        full = len(list(load_dataset("wk").edges()))
+        system = build_system(tiny_config, "syncron")
+        workload = UnionFindWorkload("wk", edge_limit=min(60, full))
+        metrics = workload.run(system)
+        assert metrics.operations == min(60, full)
