@@ -1,0 +1,316 @@
+"""Event-kernel throughput microbenchmark (events/sec) + end-to-end config.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_kernel.py [--output BENCH_kernel.json]
+
+Two measurements:
+
+1. **Kernel microbenchmark** — pure ``Simulator`` throughput on three event
+   patterns that mirror the shapes the messaging layers generate (timer
+   chains, same-cycle fan-out bursts, and a payload-carrying mix where each
+   handler receives a message argument).  The current kernel is compared
+   against ``LegacySimulator`` — a faithful copy of the seed implementation
+   (tuple heap + per-event ``step()`` + closure-only callbacks) — so the
+   speedup is measured, not guessed.
+
+2. **End-to-end** — a representative SynCron configuration (4 units, lock +
+   barrier mix over the real SE protocol stack) timed wall-clock, reporting
+   simulated cycles, events processed, and events/sec through the full model.
+
+Results are written as JSON so the perf trajectory is recorded per-PR
+(``BENCH_kernel.json`` at the repo root; CI uploads it as an artifact).
+"""
+
+from __future__ import annotations
+
+import argparse
+import heapq
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.sim.engine import Simulator  # noqa: E402
+
+
+# ----------------------------------------------------------------------
+# The seed kernel, kept verbatim as the comparison baseline.
+# ----------------------------------------------------------------------
+class LegacySimulator:
+    """The seed ``Simulator`` (pre-overhaul), for before/after numbers."""
+
+    def __init__(self):
+        self.now = 0
+        self._queue = []
+        self._seq = 0
+        self._events_processed = 0
+        self._running = False
+
+    def schedule(self, delay, callback):
+        if delay < 0:
+            raise RuntimeError(f"cannot schedule {delay} cycles into the past")
+        self.schedule_at(self.now + int(delay), callback)
+
+    def schedule_at(self, time, callback):
+        if time < self.now:
+            raise RuntimeError(
+                f"cannot schedule at t={time}, current time is {self.now}"
+            )
+        heapq.heappush(self._queue, (int(time), self._seq, callback))
+        self._seq += 1
+
+    def step(self):
+        if not self._queue:
+            return False
+        time, _seq, callback = heapq.heappop(self._queue)
+        self.now = time
+        self._events_processed += 1
+        callback()
+        return True
+
+    def run(self, until=None, max_events=None):
+        self._running = True
+        processed = 0
+        try:
+            while self._queue:
+                if until is not None and self._queue[0][0] > until:
+                    self.now = until
+                    break
+                if max_events is not None and processed >= max_events:
+                    raise RuntimeError(f"exceeded max_events={max_events}")
+                self.step()
+                processed += 1
+        finally:
+            self._running = False
+
+
+# ----------------------------------------------------------------------
+# Kernel workloads.  Each returns the number of events processed.
+#
+# The "legacy" variants drive LegacySimulator the way the seed codebase did:
+# argument-carrying callbacks must be wrapped in a closure per event, because
+# the old schedule() took a no-arg callable.  The "current" variants use the
+# *args API.  That makes this an end-to-end comparison of kernel + idiom,
+# which is what the repo actually pays per event.
+# ----------------------------------------------------------------------
+def _timer_chains_legacy(n_chains: int, n_ticks: int) -> int:
+    sim = LegacySimulator()
+    count = [0]
+
+    def tick():
+        count[0] += 1
+        if count[0] < total:
+            sim.schedule(3, tick)
+
+    total = n_chains * n_ticks
+    for c in range(n_chains):
+        sim.schedule(c, tick)
+    sim.run()
+    return total
+
+
+def _timer_chains_current(n_chains: int, n_ticks: int) -> int:
+    sim = Simulator()
+    count = [0]
+
+    def tick():
+        count[0] += 1
+        if count[0] < total:
+            sim.schedule(3, tick)
+
+    total = n_chains * n_ticks
+    for c in range(n_chains):
+        sim.schedule(c, tick)
+    sim.run()
+    return total
+
+
+def _burst_once(sim, width, leaf):
+    def burst():
+        for _ in range(width):
+            sim.schedule(0, leaf)
+    return burst
+
+
+def _fanout_legacy(n_rounds: int, width: int) -> int:
+    sim = LegacySimulator()
+    fired = [0]
+
+    def leaf():
+        fired[0] += 1
+
+    for r in range(n_rounds):
+        sim.schedule_at(5 * r, _burst_once(sim, width, leaf))
+    sim.run()
+    return fired[0]
+
+
+def _fanout_current(n_rounds: int, width: int) -> int:
+    sim = Simulator()
+    fired = [0]
+
+    def leaf():
+        fired[0] += 1
+
+    for r in range(n_rounds):
+        sim.schedule_at(5 * r, _burst_once(sim, width, leaf))
+    sim.run()
+    return fired[0]
+
+
+def _message_mix_legacy(n_messages: int) -> int:
+    """Handlers that need their message payload: the seed idiom was a
+    closure per event (``lambda: handle(msg)``), exactly like the SE
+    receive/service/grant paths."""
+    sim = LegacySimulator()
+    handled = [0]
+
+    def handle(value):
+        handled[0] += 1
+        if value > 0:
+            sim.schedule(7, lambda v=value - 1: handle(v))
+
+    for i in range(n_messages):
+        sim.schedule(i % 13, lambda: handle(4))
+    sim.run()
+    return handled[0]
+
+
+def _message_mix_current(n_messages: int) -> int:
+    sim = Simulator()
+    handled = [0]
+
+    def handle(value):
+        handled[0] += 1
+        if value > 0:
+            sim.schedule(7, handle, value - 1)
+
+    for i in range(n_messages):
+        sim.schedule(i % 13, handle, 4)
+    sim.run()
+    return handled[0]
+
+
+def _time_events(fn, *args) -> dict:
+    start = time.perf_counter()
+    events = fn(*args)
+    elapsed = time.perf_counter() - start
+    return {"events": events, "seconds": elapsed,
+            "events_per_sec": events / elapsed if elapsed > 0 else float("inf")}
+
+
+def kernel_microbench(scale: int = 1) -> dict:
+    """Compare legacy vs current kernel on the three event shapes."""
+    chains = (200, 100 * scale)
+    fanout = (400 * scale, 50)
+    messages = 120_000 * scale
+
+    results = {}
+    for name, legacy_fn, current_fn, args in (
+        ("timer_chains", _timer_chains_legacy, _timer_chains_current, chains),
+        ("same_cycle_fanout", _fanout_legacy, _fanout_current, fanout),
+        ("message_mix", _message_mix_legacy, _message_mix_current, (messages,)),
+    ):
+        legacy = _time_events(legacy_fn, *args)
+        current = _time_events(current_fn, *args)
+        results[name] = {
+            "legacy": legacy,
+            "current": current,
+            "speedup": current["events_per_sec"] / legacy["events_per_sec"],
+        }
+
+    total_legacy = sum(r["legacy"]["events"] for r in results.values())
+    sec_legacy = sum(r["legacy"]["seconds"] for r in results.values())
+    total_current = sum(r["current"]["events"] for r in results.values())
+    sec_current = sum(r["current"]["seconds"] for r in results.values())
+    results["overall"] = {
+        "legacy_events_per_sec": total_legacy / sec_legacy,
+        "current_events_per_sec": total_current / sec_current,
+        "speedup": (total_current / sec_current) / (total_legacy / sec_legacy),
+    }
+    return results
+
+
+# ----------------------------------------------------------------------
+# End-to-end: a representative SynCron run through the full model stack.
+# ----------------------------------------------------------------------
+def end_to_end() -> dict:
+    from repro.core import api
+    from repro.sim.config import ndp_2_5d
+    from repro.sim.system import NDPSystem
+
+    config = ndp_2_5d(num_units=4, cores_per_unit=5, client_cores_per_unit=4)
+    system = NDPSystem(config, mechanism="syncron")
+    lock = system.create_syncvar(name="bench_lock")
+    barrier = system.create_syncvar(name="bench_barrier")
+    n_clients = config.total_clients
+    counter = [0]
+
+    def worker(rounds=150):
+        for _ in range(rounds):
+            yield api.lock_acquire(lock)
+            counter[0] += 1
+            yield api.lock_release(lock)
+            yield api.barrier_wait_across_units(barrier, n_clients)
+
+    programs = {core.core_id: worker() for core in system.cores}
+    start = time.perf_counter()
+    makespan = system.run_programs(programs)
+    elapsed = time.perf_counter() - start
+    events = system.sim.events_processed
+    return {
+        "config": "4 units x 4 clients, syncron, lock+barrier x150",
+        "simulated_cycles": makespan,
+        "events": events,
+        "seconds": elapsed,
+        "events_per_sec": events / elapsed if elapsed > 0 else float("inf"),
+        "critical_sections": counter[0],
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--output", type=Path,
+                        default=REPO_ROOT / "BENCH_kernel.json")
+    parser.add_argument("--scale", type=int, default=1,
+                        help="multiply microbenchmark event counts (min 1)")
+    args = parser.parse_args(argv)
+
+    micro = kernel_microbench(scale=max(args.scale, 1))
+    e2e = end_to_end()
+    report = {"kernel_microbench": micro, "end_to_end": e2e}
+
+    overall = micro["overall"]
+    print("kernel microbenchmark (events/sec):")
+    for name in ("timer_chains", "same_cycle_fanout", "message_mix"):
+        r = micro[name]
+        print(f"  {name:18s} legacy {r['legacy']['events_per_sec']:>12,.0f}"
+              f"  current {r['current']['events_per_sec']:>12,.0f}"
+              f"  speedup {r['speedup']:.2f}x")
+    print(f"  {'overall':18s} legacy {overall['legacy_events_per_sec']:>12,.0f}"
+          f"  current {overall['current_events_per_sec']:>12,.0f}"
+          f"  speedup {overall['speedup']:.2f}x")
+    print(f"end-to-end: {e2e['events']:,} events in {e2e['seconds']:.2f}s"
+          f" -> {e2e['events_per_sec']:,.0f} events/sec"
+          f" ({e2e['simulated_cycles']:,} simulated cycles)")
+
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+# pytest entry point (collected via python_files = bench_*.py): one cheap
+# smoke round so CI exercises the benchmark path itself.
+def test_kernel_bench_smoke():
+    micro = kernel_microbench(scale=1)
+    assert micro["overall"]["current_events_per_sec"] > 0
+    assert micro["overall"]["speedup"] > 1.0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

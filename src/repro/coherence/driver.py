@@ -133,17 +133,17 @@ class CoherentCore:
             self.sim.schedule(max(op.cycles, 1), self._advance)
         elif isinstance(op, CLoad):
             latency, value = self.mesi.access(self.core_id, op.addr, LOAD, self.sim.now)
-            self.sim.schedule(max(latency, 1), lambda: self._advance(value))
+            self.sim.schedule(max(latency, 1), self._advance, value)
         elif isinstance(op, CStore):
             latency, value = self.mesi.access(
                 self.core_id, op.addr, STORE, self.sim.now, operand=op.value
             )
-            self.sim.schedule(max(latency, 1), lambda: self._advance(value))
+            self.sim.schedule(max(latency, 1), self._advance, value)
         elif isinstance(op, CRmw):
             latency, old = self.mesi.access(
                 self.core_id, op.addr, op.kind, self.sim.now, operand=op.operand
             )
-            self.sim.schedule(max(latency, 1), lambda: self._advance(old))
+            self.sim.schedule(max(latency, 1), self._advance, old)
         elif isinstance(op, IdealAcquire):
             if self.ideal_locks.acquire(op.lock_id, self):
                 self.sim.schedule(0, self._advance)

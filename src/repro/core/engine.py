@@ -98,7 +98,11 @@ _OP_KINDS = {
 
 
 class SyncEngine(ProtocolMixin):
-    """One SE, integrated in the compute die of one NDP unit."""
+    """One SE, integrated in the compute die of one NDP unit.
+
+    (No ``__slots__`` here on purpose: there is one SE per unit — a handful
+    of instances — and tests monkeypatch engine methods per instance.)
+    """
 
     def __init__(self, mech: "SynCronMechanism", se_id: int):
         self.mech = mech
@@ -107,6 +111,8 @@ class SyncEngine(ProtocolMixin):
         self.stats = mech.stats
         self.se_id = se_id
         self.unit = se_id  # one SE per unit; ids coincide
+        #: interned FIFO-clamp key (one tuple per SE, not one per message).
+        self.sender_token = ("se", se_id)
 
         self.st = SynchronizationTable(self.config.st_entries)
         self.counters = IndexingCounters(
@@ -144,7 +150,7 @@ class SyncEngine(ProtocolMixin):
             clamped = max(arrival, self._last_arrival.get(sender, 0) + 1)
             self._last_arrival[sender] = clamped
             arrival = clamped
-        self.sim.schedule_at(arrival, lambda: self._enqueue(msg))
+        self.sim.schedule_at(arrival, self._enqueue, msg)
 
     def _enqueue(self, msg: Message) -> None:
         self._queue.append(msg)
@@ -157,7 +163,7 @@ class SyncEngine(ProtocolMixin):
             self._busy = False
             return
         msg = self._queue.popleft()
-        self.sim.schedule(self.service_cycles, lambda: self._finish(msg))
+        self.sim.schedule(self.service_cycles, self._finish, msg)
 
     def _finish(self, msg: Message) -> None:
         self._extra = 0
@@ -309,7 +315,7 @@ class SyncEngine(ProtocolMixin):
         latency = self.mech.interconnect.transfer_latency(
             self.unit, dst_se, depart, msg.bytes
         )
-        self.mech.se(dst_se).receive(msg, depart + latency, sender=("se", self.se_id))
+        self.mech.se(dst_se).receive(msg, depart + latency, sender=self.sender_token)
 
     def send_grant(self, core_id: int) -> None:
         """Direct notification of one waiting core (Table 4).
@@ -327,7 +333,7 @@ class SyncEngine(ProtocolMixin):
         latency = self.mech.interconnect.transfer_latency(
             self.unit, dst_unit, depart, RESPONSE_BYTES
         )
-        self.sim.schedule_at(depart + latency, lambda: self.mech.wake(core_id))
+        self.sim.schedule_at(depart + latency, self.mech.wake, core_id)
 
     def _internal_request(self, msg: Message) -> None:
         """The SE issues a request on behalf of a core (condition variables:
@@ -381,7 +387,7 @@ class SynCronMechanism(MechanismBase):
             core.unit_id, self.sim.now, REQUEST_BYTES
         )
         self.ses[core.unit_id].receive(
-            msg, self.sim.now + latency, sender=("core", core.core_id)
+            msg, self.sim.now + latency, sender=core.sender_token
         )
 
     def request(self, core, op, var, info, callback) -> None:
@@ -398,7 +404,7 @@ class SynCronMechanism(MechanismBase):
 
     def inject_internal(self, se: SyncEngine, msg: Message) -> None:
         """Route an SE-initiated request (hierarchical: stays at that SE)."""
-        se.sim.schedule_at(se.sim.now + se._extra, lambda: se._enqueue(msg))
+        se.sim.schedule_at(se.sim.now + se._extra, se._enqueue, msg)
 
     def wake(self, core_id: int) -> None:
         callback = self._pending.pop(core_id, None)

@@ -18,8 +18,8 @@ from __future__ import annotations
 
 import enum
 import math
-from dataclasses import dataclass, field
-from typing import Optional
+from dataclasses import dataclass
+from typing import Dict, Optional
 
 #: Fig. 5: 64 + 6 + 6 + 64 bits.
 REQUEST_BITS = 140
@@ -139,7 +139,16 @@ RELEASE_OPCODES = frozenset(
 )
 
 
-@dataclass
+#: Opcode -> wire size in bytes, precomputed once so the per-message ``bytes``
+#: lookup on the network hot path never scans opcode names.
+OPCODE_BYTES: Dict[Opcode, int] = {
+    op: (RESPONSE_BYTES if ("GRANT" in op.name or "DEPART" in op.name)
+         else REQUEST_BYTES)
+    for op in Opcode
+}
+
+
+@dataclass(slots=True)
 class Message:
     """One message on the SE fabric.
 
@@ -147,6 +156,9 @@ class Message:
     field of Fig. 5); for overflow messages it packs the local core id and
     the overflowed SE's global id, which we keep as separate fields for
     clarity (the hardware packs both into CoreID, Sec. 4.3.2).
+
+    ``slots=True``: millions of Message objects are allocated per run; a
+    slotted instance skips the per-message ``__dict__``.
     """
 
     opcode: Opcode
@@ -157,9 +169,7 @@ class Message:
 
     @property
     def bytes(self) -> int:
-        if "GRANT" in self.opcode.name or "DEPART" in self.opcode.name:
-            return RESPONSE_BYTES
-        return REQUEST_BYTES
+        return OPCODE_BYTES[self.opcode]
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         who = f"core={self.core}" if self.core is not None else f"se={self.src_se}"

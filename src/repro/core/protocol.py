@@ -34,13 +34,19 @@ class ProtocolError(RuntimeError):
 class ProtocolMixin:
     """Opcode handlers; mixed into :class:`~repro.core.engine.SyncEngine`."""
 
+    #: empty slots so slotted engines composed from this mixin stay dict-free.
+    __slots__ = ()
+
     # ==================================================================
     # Dispatch
     # ==================================================================
     def dispatch(self, msg: Message) -> None:
-        handler = _HANDLERS.get(msg.opcode)
-        if handler is None:  # pragma: no cover - all opcodes are mapped
-            raise ProtocolError(f"no handler for {msg.opcode}")
+        # _HANDLERS is built once at module load; every opcode is mapped, so
+        # the hot path is a single dict hit (KeyError would be kernel misuse).
+        try:
+            handler = _HANDLERS[msg.opcode]
+        except KeyError:  # pragma: no cover - all opcodes are mapped
+            raise ProtocolError(f"no handler for {msg.opcode}") from None
         handler(self, msg)
 
     # ==================================================================

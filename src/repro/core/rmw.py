@@ -85,6 +85,6 @@ class RmwExtension:
                 self.stats.sync_messages_local += 1
             else:
                 self.stats.sync_messages_global += 1
-            self.sim.schedule_at(done + back, lambda: callback(old))
+            self.sim.schedule_at(done + back, callback, old)
 
         self.sim.schedule_at(start, execute)

@@ -21,15 +21,23 @@ from typing import Dict, Optional
 from repro.sim.stats import SystemStats
 
 
-@dataclass
+@dataclass(slots=True)
 class AccessResult:
     hit: bool
     #: line address of a dirty victim that must be written back, if any.
     writeback_line: Optional[int] = None
 
 
+#: shared hit result: hits dominate and carry no victim, so one immutable
+#: instance serves them all (callers only ever read the two fields).
+_HIT = AccessResult(hit=True)
+
+
 class L1Cache:
     """A private, set-associative, write-back, write-allocate cache."""
+
+    __slots__ = ("line_bytes", "ways", "num_sets", "hit_cycles", "stats",
+                 "_sets")
 
     def __init__(
         self,
@@ -64,7 +72,7 @@ class L1Cache:
             if is_write:
                 cset[line] = True
             self.stats.cache_hits += 1
-            return AccessResult(hit=True)
+            return _HIT
 
         self.stats.cache_misses += 1
         writeback = None

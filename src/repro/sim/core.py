@@ -32,6 +32,11 @@ from repro.sim.program import (
 class NDPCore:
     """One in-order NDP core executing a single program."""
 
+    __slots__ = ("sim", "core_id", "unit_id", "local_id", "l1", "memsys",
+                 "mechanism", "config", "port", "process", "finished",
+                 "finish_time", "instructions_retired", "sync_requests_issued",
+                 "_waiting_since", "cycles_waiting_sync", "sender_token")
+
     def __init__(
         self,
         sim: Simulator,
@@ -46,6 +51,9 @@ class NDPCore:
     ):
         self.sim = sim
         self.core_id = core_id        # globally unique (= hw context id)
+        #: interned FIFO-clamp key for SE receive paths (one tuple per core,
+        #: not one per message).
+        self.sender_token = ("core", core_id)
         self.unit_id = unit_id
         self.local_id = local_id      # unique within the unit
         self.l1 = l1
@@ -88,21 +96,22 @@ class NDPCore:
         op = self.process.resume(value)
         if op is None:
             return
+        # Exact-type dispatch (one dict hit) with an isinstance fallback for
+        # subclassed operations; this runs once per core micro-step.
+        handler = _OP_DISPATCH.get(op.__class__)
+        if handler is not None:
+            handler(self, op)
+        else:
+            self._advance_slow(op)
 
+    def _advance_slow(self, op) -> None:
+        """isinstance-based dispatch for subclassed operation types."""
         if isinstance(op, Compute):
-            self.instructions_retired += op.instructions
-            # 1 IPC in-order pipeline; zero-instruction compute still takes
-            # no time (pure marker).  A shared pipeline (SMT) must first be
-            # claimed for the whole sequence.
-            delay = op.instructions
-            if self.port is not None and op.instructions > 0:
-                start = self.port.reserve(self.sim.now, op.instructions)
-                delay = (start - self.sim.now) + op.instructions
-            self.sim.schedule(delay, self._advance)
+            self._compute_op(op)
         elif isinstance(op, Load):
-            self._memory_op(op.addr, is_write=False, cacheable=op.cacheable, size=op.size)
+            self._load_op(op)
         elif isinstance(op, Store):
-            self._memory_op(op.addr, is_write=True, cacheable=op.cacheable, size=op.size)
+            self._store_op(op)
         elif isinstance(op, Batch):
             self._batch_op(op)
         elif isinstance(op, SyncOp):
@@ -113,6 +122,24 @@ class NDPCore:
             self._rmw_op(op)
         else:
             raise TypeError(f"program yielded unknown operation {op!r}")
+
+    def _compute_op(self, op: Compute) -> None:
+        instructions = op.instructions
+        self.instructions_retired += instructions
+        # 1 IPC in-order pipeline; zero-instruction compute still takes
+        # no time (pure marker).  A shared pipeline (SMT) must first be
+        # claimed for the whole sequence.
+        delay = instructions
+        if self.port is not None and instructions > 0:
+            start = self.port.reserve(self.sim.now, instructions)
+            delay = (start - self.sim.now) + instructions
+        self.sim.schedule(delay, self._advance)
+
+    def _load_op(self, op: Load) -> None:
+        self._memory_op(op.addr, is_write=False, cacheable=op.cacheable, size=op.size)
+
+    def _store_op(self, op: Store) -> None:
+        self._memory_op(op.addr, is_write=True, cacheable=op.cacheable, size=op.size)
 
     def _batch_op(self, op: Batch) -> None:
         """Resolve a whole Compute/Load/Store sequence in one event."""
@@ -150,24 +177,27 @@ class NDPCore:
         )
         self.sim.schedule(issue_stall + max(latency, 1), self._advance)
 
-    def _issue_then(self, action) -> None:
-        """Run ``action`` once the (possibly shared) pipeline issues it."""
+    def _issue_then(self, action, *args) -> None:
+        """Run ``action(*args)`` once the (possibly shared) pipeline issues
+        it.  On single-context cores (no port) this is a plain call — no
+        closure, no event."""
         if self.port is None:
-            action()
+            action(*args)
             return
         start = self.port.reserve(self.sim.now, 1)
         if start == self.sim.now:
-            action()
+            action(*args)
         else:
-            self.sim.schedule_at(start, action)
+            self.sim.schedule_at(start, action, *args)
 
     def _sync_op(self, op: SyncOp) -> None:
         self.instructions_retired += 1
         self.sync_requests_issued += 1
         self._waiting_since = self.sim.now
-        self._issue_then(lambda: self.mechanism.request(
-            self, op.op, op.var, op.info, callback=self._sync_granted
-        ))
+        self._issue_then(
+            self.mechanism.request, self, op.op, op.var, op.info,
+            self._sync_granted,
+        )
 
     def _sync_granted(self) -> None:
         if self._waiting_since is not None:
@@ -178,21 +208,21 @@ class NDPCore:
     def _sync_async_op(self, op: SyncAsyncOp) -> None:
         self.instructions_retired += 1
         self.sync_requests_issued += 1
+        self._issue_then(self._issue_async, op)
 
-        def issue() -> None:
-            issue_cost = self.mechanism.request_async(self, op.op, op.var, op.info)
-            self.sim.schedule(max(issue_cost, 1), self._advance)
-
-        self._issue_then(issue)
+    def _issue_async(self, op: SyncAsyncOp) -> None:
+        issue_cost = self.mechanism.request_async(self, op.op, op.var, op.info)
+        self.sim.schedule(max(issue_cost, 1), self._advance)
 
     def _rmw_op(self, op: RmwOp) -> None:
         """Atomic rmw at the address's Master SE (Sec. 4.4.1); the program
         resumes with the old value."""
         self.instructions_retired += 1
         self._waiting_since = self.sim.now
-        self._issue_then(lambda: self.mechanism.rmw(
-            self, op.addr, op.op, op.operand, self._rmw_granted
-        ))
+        self._issue_then(
+            self.mechanism.rmw, self, op.addr, op.op, op.operand,
+            self._rmw_granted,
+        )
 
     def _rmw_granted(self, old_value: int) -> None:
         if self._waiting_since is not None:
@@ -203,3 +233,15 @@ class NDPCore:
     # ------------------------------------------------------------------
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"NDPCore(id={self.core_id}, unit={self.unit_id}, local={self.local_id})"
+
+
+#: exact operation type -> unbound handler, resolved once at import.
+_OP_DISPATCH = {
+    Compute: NDPCore._compute_op,
+    Load: NDPCore._load_op,
+    Store: NDPCore._store_op,
+    Batch: NDPCore._batch_op,
+    SyncOp: NDPCore._sync_op,
+    SyncAsyncOp: NDPCore._sync_async_op,
+    RmwOp: NDPCore._rmw_op,
+}

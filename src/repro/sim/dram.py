@@ -25,6 +25,10 @@ from repro.sim.stats import SystemStats
 class DramDevice:
     """The memory of a single NDP unit."""
 
+    __slots__ = ("timing", "stats", "unit_id", "num_banks", "_open_row",
+                 "_next_free", "_wr_cycles", "_row_bytes", "_hit_cycles",
+                 "_miss_cycles", "_conflict_cycles")
+
     def __init__(self, timing: DramTiming, stats: SystemStats, unit_id: int = 0):
         self.timing = timing
         self.stats = stats
@@ -33,11 +37,17 @@ class DramDevice:
         self._open_row: List[Optional[int]] = [None] * self.num_banks
         self._next_free: List[int] = [0] * self.num_banks
         self._wr_cycles = core_cycles_from_ns(timing.write_recovery_ns)
+        # The row_*_cycles properties convert ns -> cycles with float math on
+        # every call; an access pays one of them, so resolve all three once.
+        self._row_bytes = timing.row_size_bytes
+        self._hit_cycles = timing.row_hit_cycles
+        self._miss_cycles = timing.row_miss_cycles
+        self._conflict_cycles = timing.row_conflict_cycles
 
     # ------------------------------------------------------------------
     def _bank_and_row(self, addr: int) -> Tuple[int, int]:
         """Address interleaving: consecutive rows stripe across banks."""
-        row_global = addr // self.timing.row_size_bytes
+        row_global = addr // self._row_bytes
         return row_global % self.num_banks, row_global // self.num_banks
 
     def access(self, addr: int, is_write: bool, now: int) -> int:
@@ -46,20 +56,26 @@ class DramDevice:
         The bank is reserved until the access (plus write recovery) finishes,
         so concurrent requests to the same bank queue up naturally.
         """
-        bank, row = self._bank_and_row(addr)
-        start = max(now, self._next_free[bank])
+        row_global = addr // self._row_bytes
+        bank = row_global % self.num_banks
+        row = row_global // self.num_banks
+        open_rows = self._open_row
+        start = self._next_free[bank]
+        if now > start:
+            start = now
         queue_delay = start - now
 
-        if self._open_row[bank] == row:
-            service = self.timing.row_hit_cycles
+        open_row = open_rows[bank]
+        if open_row == row:
+            service = self._hit_cycles
             self.stats.dram_row_hits += 1
-        elif self._open_row[bank] is None:
-            service = self.timing.row_miss_cycles
+        elif open_row is None:
+            service = self._miss_cycles
             self.stats.dram_row_misses += 1
         else:
-            service = self.timing.row_conflict_cycles
+            service = self._conflict_cycles
             self.stats.dram_row_misses += 1
-        self._open_row[bank] = row
+        open_rows[bank] = row
 
         hold = service + (self._wr_cycles if is_write else 0)
         self._next_free[bank] = start + hold

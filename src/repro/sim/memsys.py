@@ -31,6 +31,9 @@ REQUEST_BYTES = 16
 class MemorySystem:
     """Timing oracle for all data accesses in the system."""
 
+    __slots__ = ("config", "stats", "interconnect", "drams", "addrmap",
+                 "_line_bytes")
+
     def __init__(
         self,
         config: SystemConfig,
@@ -44,6 +47,7 @@ class MemorySystem:
         self.interconnect = interconnect
         self.drams = drams
         self.addrmap = addrmap
+        self._line_bytes = config.cache_line_bytes
 
     # ------------------------------------------------------------------
     def access(
@@ -78,29 +82,32 @@ class MemorySystem:
 
     def _line_fill(self, src_unit: int, addr: int, now: int) -> int:
         """Request to home DRAM and 64 B line back."""
+        interconnect = self.interconnect
         home = self.addrmap.unit_of(addr)
-        line = self.config.cache_line_bytes
-        latency = self.interconnect.transfer_latency(src_unit, home, now, REQUEST_BYTES)
+        latency = interconnect.transfer_latency(src_unit, home, now, REQUEST_BYTES)
         latency += self.drams[home].access(addr, is_write=False, now=now + latency)
-        latency += self.interconnect.transfer_latency(home, src_unit, now + latency, line)
+        latency += interconnect.transfer_latency(
+            home, src_unit, now + latency, self._line_bytes
+        )
         return latency
 
     def _background_writeback(self, src_unit: int, victim_line: int, now: int) -> None:
         """Account a dirty eviction's traffic and DRAM write, off the
         critical path."""
-        addr = victim_line * self.config.cache_line_bytes
+        addr = victim_line * self._line_bytes
         home = self.addrmap.unit_of(addr)
-        self.interconnect.transfer_latency(src_unit, home, now, self.config.cache_line_bytes)
+        self.interconnect.transfer_latency(src_unit, home, now, self._line_bytes)
         self.drams[home].access(addr, is_write=True, now=now)
 
     def _uncacheable_access(self, src_unit, addr, is_write, now, size) -> int:
+        interconnect = self.interconnect
         home = self.addrmap.unit_of(addr)
-        payload = max(size, 8)
+        payload = size if size > 8 else 8
         request = REQUEST_BYTES + (payload if is_write else 0)
         response = REQUEST_BYTES + (0 if is_write else payload)
-        latency = self.interconnect.transfer_latency(src_unit, home, now, request)
+        latency = interconnect.transfer_latency(src_unit, home, now, request)
         latency += self.drams[home].access(addr, is_write=is_write, now=now + latency)
-        latency += self.interconnect.transfer_latency(home, src_unit, now + latency, response)
+        latency += interconnect.transfer_latency(home, src_unit, now + latency, response)
         return latency
 
     # ------------------------------------------------------------------

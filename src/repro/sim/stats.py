@@ -4,16 +4,22 @@ A single :class:`SystemStats` instance is shared by every component of a
 simulated system.  Components only *increment* counters; the harness reads
 them to build the paper's energy (Fig. 14), data-movement (Fig. 15) and
 occupancy (Table 7, Fig. 19/22) results.
+
+Counters are plain attributes on a slotted dataclass: the hot paths
+(interconnect, DRAM, caches, SEs) bump them millions of times per run, and an
+attribute store on a slotted instance is the cheapest mutation Python offers.
+Per-SE occupancy accounting uses flat lists indexed by SE id instead of the
+three dict lookups per message the seed paid.
 """
 
 from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, List
 
 
-@dataclass
+@dataclass(slots=True)
 class SystemStats:
     """Mutable counters, all starting at zero."""
 
@@ -50,33 +56,46 @@ class SystemStats:
     # Per-category extras (extensible without schema churn).
     extra: Counter = field(default_factory=Counter)
 
-    # Occupancy integrals: sum over sampling points of occupied entries,
-    # plus max, per SE id.
-    st_occupancy_max: Dict[int, int] = field(default_factory=dict)
-    _st_occupancy_sum: Dict[int, int] = field(default_factory=dict)
-    _st_occupancy_samples: Dict[int, int] = field(default_factory=dict)
+    # Occupancy integrals, indexed by SE id: running max, sum over sampling
+    # points of occupied entries, and sample counts.
+    _occ_max: List[int] = field(default_factory=list)
+    _occ_sum: List[int] = field(default_factory=list)
+    _occ_samples: List[int] = field(default_factory=list)
 
     # ------------------------------------------------------------------
     def record_st_occupancy(self, se_id: int, occupied: int) -> None:
         """Sample an ST's occupancy (called by the SE on every message)."""
-        if occupied > self.st_occupancy_max.get(se_id, 0):
-            self.st_occupancy_max[se_id] = occupied
-        self._st_occupancy_sum[se_id] = self._st_occupancy_sum.get(se_id, 0) + occupied
-        self._st_occupancy_samples[se_id] = self._st_occupancy_samples.get(se_id, 0) + 1
+        maxes = self._occ_max
+        if se_id >= len(maxes):
+            grow = se_id + 1 - len(maxes)
+            maxes.extend([0] * grow)
+            self._occ_sum.extend([0] * grow)
+            self._occ_samples.extend([0] * grow)
+        if occupied > maxes[se_id]:
+            maxes[se_id] = occupied
+        self._occ_sum[se_id] += occupied
+        self._occ_samples[se_id] += 1
+
+    @property
+    def st_occupancy_max(self) -> Dict[int, int]:
+        """Max occupancy per SE id (dict view; only SEs that peaked above 0)."""
+        return {se_id: occ for se_id, occ in enumerate(self._occ_max) if occ > 0}
 
     def st_occupancy_avg(self, se_id: int) -> float:
-        samples = self._st_occupancy_samples.get(se_id, 0)
+        if se_id >= len(self._occ_samples):
+            return 0.0
+        samples = self._occ_samples[se_id]
         if samples == 0:
             return 0.0
-        return self._st_occupancy_sum[se_id] / samples
+        return self._occ_sum[se_id] / samples
 
     def st_occupancy_summary(self, st_entries: int) -> Dict[str, float]:
         """Max/avg occupancy as percentages across all SEs (Table 7 rows)."""
-        if not self._st_occupancy_samples:
+        total_samples = sum(self._occ_samples)
+        if total_samples == 0:
             return {"max_pct": 0.0, "avg_pct": 0.0}
-        max_occ = max(self.st_occupancy_max.values(), default=0)
-        total_sum = sum(self._st_occupancy_sum.values())
-        total_samples = sum(self._st_occupancy_samples.values())
+        max_occ = max(self._occ_max, default=0)
+        total_sum = sum(self._occ_sum)
         return {
             "max_pct": 100.0 * max_occ / st_entries,
             "avg_pct": 100.0 * (total_sum / total_samples) / st_entries,

@@ -47,5 +47,5 @@ class CentralMechanism(SynCronMechanism):
             core.unit_id, self.SERVER_UNIT, self.sim.now, REQUEST_BYTES
         )
         self.server.receive(
-            msg, self.sim.now + latency, sender=("core", core.core_id)
+            msg, self.sim.now + latency, sender=core.sender_token
         )

@@ -27,7 +27,7 @@ class FlatSynCronMechanism(SynCronMechanism):
             core.unit_id, master, self.sim.now, REQUEST_BYTES
         )
         self.ses[master].receive(
-            msg, self.sim.now + latency, sender=("core", core.core_id)
+            msg, self.sim.now + latency, sender=core.sender_token
         )
 
     def inject_internal(self, se, msg) -> None:
@@ -37,10 +37,10 @@ class FlatSynCronMechanism(SynCronMechanism):
         target = self.ses[master]
         depart = self.sim.now + se._extra
         if target is se:
-            se.sim.schedule_at(depart, lambda: se._enqueue(msg))
+            se.sim.schedule_at(depart, se._enqueue, msg)
             return
         self.stats.sync_messages_global += 1
         latency = self.interconnect.transfer_latency(
             se.unit, master, depart, msg.bytes
         )
-        target.receive(msg, depart + latency, sender=("se", se.se_id))
+        target.receive(msg, depart + latency, sender=se.sender_token)

@@ -55,7 +55,7 @@ class IdealMechanism(MechanismBase):
         old = values.get(addr, 0)
         values[addr] = fn(old, operand)
         self.stats.extra["rmw_ops"] += 1
-        self.sim.schedule(0, lambda: callback(old))
+        self.sim.schedule(0, callback, old)
 
     def rmw_value(self, addr: int) -> int:
         return getattr(self, "_rmw_values", {}).get(addr, 0)

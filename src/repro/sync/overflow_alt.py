@@ -191,7 +191,7 @@ class _AbortOverflowMechanism(SynCronMechanism):
             )
             self._count_message(se.unit, server.unit)
             arrival = depart + latency
-        server.receive(msg, arrival, sender=("se", se.se_id))
+        server.receive(msg, arrival, sender=se.sender_token)
 
     def _count_message(self, src_unit: int, dst_unit: int) -> None:
         if src_unit == dst_unit:
@@ -214,7 +214,7 @@ class _AbortOverflowMechanism(SynCronMechanism):
                 latency = self.interconnect.transfer_latency(
                     se.unit, target.unit, depart, msg.bytes
                 )
-            target.receive(msg, depart + latency, sender=("se", se.se_id))
+            target.receive(msg, depart + latency, sender=se.sender_token)
             return
         super().inject_internal(se, msg)
 

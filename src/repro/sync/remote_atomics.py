@@ -160,7 +160,7 @@ class RemoteAtomicsMechanism(MechanismBase):
         back = self.interconnect.transfer_latency(
             home, core.unit_id, done, RMW_RESPONSE_BYTES
         )
-        self.sim.schedule_at(done + back, lambda: callback(old))
+        self.sim.schedule_at(done + back, callback, old)
 
     def _retry(self, core, attempt: Callable[[], None]) -> None:
         """Schedule the next spin attempt after the configured backoff.
@@ -405,7 +405,7 @@ class RemoteAtomicsMechanism(MechanismBase):
         back = self.interconnect.transfer_latency(
             home, core.unit_id, done, RMW_RESPONSE_BYTES
         )
-        self.sim.schedule_at(done + back, lambda: callback(old))
+        self.sim.schedule_at(done + back, callback, old)
 
     def rmw_value(self, addr: int) -> int:
         return self._fields.get((addr, "user"), 0)

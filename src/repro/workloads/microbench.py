@@ -113,15 +113,27 @@ class PrimitiveMicrobench(Workload):
                 yield api.lock_release(lock)
 
         def signaler():
+            # Exponential backoff on failed sends.  A tight re-acquire loop
+            # livelocks the whole benchmark: with the Sec. 4.4.2 fairness
+            # counter disabled (fairness_threshold=0, the default), the
+            # signalers' unit keeps hierarchical control of the lock forever
+            # and the woken waiters on the other unit can never re-acquire
+            # it — so the signalers poll for waiters that cannot arrive.
+            # Backing off lets the holding SE's local waitlist drain, which
+            # hands control back to the Master SE between polls.
             sent = 0
+            backoff = self.interval
             while sent < self.rounds:
-                yield Compute(self.interval)
+                yield Compute(backoff)
                 yield api.lock_acquire(lock)
                 if pending["waiting"] > 0:
                     pending["waiting"] -= 1
                     self._counter["value"] += 1
                     yield api.cond_signal(cond)
                     sent += 1
+                    backoff = self.interval
+                else:
+                    backoff = min(max(backoff, 1) * 2, 16 * max(self.interval, 1))
                 yield api.lock_release(lock)
 
         programs = {}

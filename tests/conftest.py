@@ -1,15 +1,30 @@
-"""Shared fixtures: small, fast system configurations for unit tests."""
+"""Shared fixtures: small, fast system configurations for unit tests.
 
-import os
+Importable helpers (``build_system``, ``ALL_MECHANISMS``, ...) live in
+:mod:`repro.testing` so test modules never import ``conftest`` as a plain
+module (pytest's prepend import mode resolves that name against whichever
+conftest it saw first — see the note in ``repro/testing.py``).
+"""
 
 import pytest
 
-# Tests always run at the smallest experiment scale, regardless of the
-# environment the developer exports for benchmarks.
-os.environ["REPRO_SCALE"] = "small"
+from repro.sim.config import SystemConfig, ndp_2_5d
+from repro.sim.system import NDPSystem
+from repro.testing import ALL_MECHANISMS, SPIN_MECHANISMS, build_system  # noqa: F401
 
-from repro.sim.config import SystemConfig, ndp_2_5d  # noqa: E402
-from repro.sim.system import NDPSystem  # noqa: E402
+
+@pytest.fixture(scope="session", autouse=True)
+def _force_small_scale():
+    """Tests always run at the smallest experiment scale, regardless of the
+    ``REPRO_SCALE`` a developer exports for benchmarks.
+
+    Scoped with a MonkeyPatch context instead of an import-time
+    ``os.environ`` write so the setting never leaks out of the test
+    session into the invoking shell process.
+    """
+    with pytest.MonkeyPatch.context() as mp:
+        mp.setenv("REPRO_SCALE", "small")
+        yield
 
 
 @pytest.fixture
@@ -27,23 +42,3 @@ def quad_config() -> SystemConfig:
 @pytest.fixture
 def tiny_system(tiny_config) -> NDPSystem:
     return NDPSystem(tiny_config, mechanism="syncron")
-
-
-def build_system(config: SystemConfig, mechanism: str = "syncron") -> NDPSystem:
-    return NDPSystem(config, mechanism=mechanism)
-
-
-ALL_MECHANISMS = (
-    "syncron",
-    "syncron_flat",
-    "central",
-    "hier",
-    "ideal",
-    "syncron_central_ovrfl",
-    "syncron_distrib_ovrfl",
-)
-
-#: Sec. 2.2.1 spin-wait baselines.  Kept out of ALL_MECHANISMS because their
-#: condition-variable semantics differ deliberately (credits persist instead
-#: of POSIX lost signals) — see test_spin_baselines.py for their coverage.
-SPIN_MECHANISMS = ("rmw_spin", "bakery")

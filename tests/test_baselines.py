@@ -16,7 +16,7 @@ from repro.sim.program import (
 from repro.sim.syncif import SyncVar
 from repro.sync.logic import LogicError, SyncLogic
 
-from conftest import build_system
+from repro.testing import build_system
 
 
 def contended_lock_cycles(config, mechanism, ops=6):

@@ -7,7 +7,7 @@ from repro.sim.chrometrace import trace_events, write_chrome_trace
 from repro.sim.program import Compute
 from repro.sim.trace import MessageTracer
 
-from conftest import build_system
+from repro.testing import build_system
 
 
 def traced_run(tiny_config, mechanism="syncron"):

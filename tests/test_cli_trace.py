@@ -7,7 +7,7 @@ from repro.core import api
 from repro.sim.program import Compute
 from repro.sim.trace import MessageTracer
 
-from conftest import build_system
+from repro.testing import build_system
 
 
 class TestCliParsing:
@@ -119,7 +119,7 @@ class TestRenderPlot:
 
 class TestMessageTracer:
     def run_traced(self, mechanism="syncron"):
-        from conftest import ALL_MECHANISMS  # noqa: F401
+        from repro.testing import ALL_MECHANISMS  # noqa: F401
 
         from repro.sim.config import ndp_2_5d
         from repro.sim.system import NDPSystem

@@ -14,7 +14,7 @@ from repro.sim.program import (
 )
 from repro.sim.system import MECHANISM_NAMES, NDPSystem
 
-from conftest import ALL_MECHANISMS
+from repro.testing import ALL_MECHANISMS
 
 
 class TestProgramOps:
@@ -93,7 +93,7 @@ class TestCoreExecution:
         assert times["remote"] > times["local"] + tiny_system.config.link_latency_cycles
 
     def test_batch_matches_sequential_time_roughly(self, tiny_config):
-        from conftest import build_system
+        from repro.testing import build_system
 
         addr_ops = [(i * 64) for i in range(8)]
         sys_a = build_system(tiny_config)

@@ -16,7 +16,7 @@ from repro.workloads.datastructures import (
     StackWorkload,
 )
 
-from conftest import build_system
+from repro.testing import build_system
 
 
 STRUCTURE_NAMES = sorted(ALL_STRUCTURES)

@@ -151,7 +151,7 @@ def test_kernels_verify_on_all_mechanisms(tiny_config, kernel, mechanism):
 
 class TestKernelPlumbing:
     def test_vertices_assigned_to_owning_units_cores(self, quad_config):
-        from conftest import build_system
+        from repro.testing import build_system
 
         system = build_system(quad_config)
         workload = BFSWorkload(graph=SMALL_GRAPH)
@@ -161,7 +161,7 @@ class TestKernelPlumbing:
                 assert workload.assignment[v] == core.unit_id
 
     def test_vertex_locks_live_in_partition_unit(self, quad_config):
-        from conftest import build_system
+        from repro.testing import build_system
 
         system = build_system(quad_config)
         workload = ConnectedComponentsWorkload(graph=SMALL_GRAPH)

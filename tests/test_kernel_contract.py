@@ -1,0 +1,212 @@
+"""Regression tests pinning the event-kernel contract.
+
+The kernel was rewritten for throughput (args-based callbacks, batch drain,
+``__slots__``); these tests pin the semantics the rest of the simulator
+relies on so a future optimization cannot silently reorder events:
+
+- same-timestamp events fire in insertion order, including events inserted
+  *during* a same-timestamp batch;
+- ``until`` / ``max_events`` semantics;
+- ``Process.resume`` after finish;
+- scheduling-validation behaviour;
+- both ``tests/`` and ``benchmarks/`` collect cleanly from the repo root
+  (the seed shipped with a conftest-shadowing bug that broke all 16 test
+  modules importing shared helpers).
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.sim.engine import Process, SimulationError, Simulator
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+class TestDeterminismContract:
+    def test_same_timestamp_insertion_order_with_args(self):
+        sim = Simulator()
+        order = []
+        for tag in range(8):
+            sim.schedule(4, order.append, tag)
+        sim.run()
+        assert order == list(range(8))
+
+    def test_mixed_schedule_and_schedule_at_same_timestamp(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(10, order.append, "a")
+        sim.schedule_at(10, order.append, "b")
+        sim.schedule(10, order.append, "c")
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_events_inserted_during_batch_keep_insertion_order(self):
+        """An event scheduled at delay 0 from inside a same-cycle batch must
+        run after the events already queued at that timestamp."""
+        sim = Simulator()
+        order = []
+
+        def first():
+            order.append("first")
+            sim.schedule(0, order.append, "child-of-first")
+
+        sim.schedule(5, first)
+        sim.schedule(5, order.append, "second")
+        sim.run()
+        assert order == ["first", "second", "child-of-first"]
+
+    def test_interleaved_timestamps_stay_sorted(self):
+        sim = Simulator()
+        seen = []
+        for delay in (9, 3, 7, 3, 9, 0, 7):
+            sim.schedule(delay, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == sorted(seen)
+        assert sim.now == 9
+
+    def test_run_is_identical_to_stepping(self):
+        def build():
+            sim = Simulator()
+            log = []
+
+            def tick(tag):
+                log.append((sim.now, tag))
+                if tag < 30:
+                    sim.schedule((tag * 7) % 5, tick, tag + 1)
+
+            for tag in range(3):
+                sim.schedule(tag % 2, tick, tag * 100)
+            return sim, log
+
+        sim_run, log_run = build()
+        sim_run.run()
+        sim_step, log_step = build()
+        while sim_step.step():
+            pass
+        assert log_run == log_step
+        assert sim_run.now == sim_step.now
+
+
+class TestRunBounds:
+    def test_until_stops_clock_and_keeps_future_events(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(5, fired.append, 5)
+        sim.schedule(50, fired.append, 50)
+        sim.run(until=10)
+        assert fired == [5]
+        assert sim.now == 10
+        assert sim.pending_events == 1
+        sim.run()
+        assert fired == [5, 50]
+
+    def test_event_at_exact_until_fires(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(10, fired.append, 10)
+        sim.run(until=10)
+        assert fired == [10]
+
+    def test_until_with_drained_queue_leaves_clock_at_last_event(self):
+        sim = Simulator()
+        sim.schedule(4, lambda: None)
+        sim.run(until=100)
+        assert sim.now == 4
+
+    def test_max_events_raises_on_livelock(self):
+        sim = Simulator()
+
+        def reschedule():
+            sim.schedule(1, reschedule)
+
+        sim.schedule(0, reschedule)
+        with pytest.raises(SimulationError, match="max_events"):
+            sim.run(max_events=100)
+        assert sim.events_processed == 100
+
+    def test_max_events_combined_with_until(self):
+        sim = Simulator()
+        fired = []
+        for d in range(20):
+            sim.schedule(d, fired.append, d)
+        sim.run(until=9, max_events=50)
+        assert fired == list(range(10))
+        assert sim.now == 9
+
+
+class TestValidation:
+    def test_negative_delay_raises(self):
+        with pytest.raises(SimulationError):
+            Simulator().schedule(-1, lambda: None)
+
+    def test_schedule_at_past_raises_mid_run(self):
+        sim = Simulator()
+        sim.schedule(10, lambda: sim.schedule_at(3, lambda: None))
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_validation_can_be_disabled(self):
+        sim = Simulator(validate=False)
+        sim.schedule(-5, lambda: None)  # accepted: caller opted out
+        sim.run()
+
+    def test_validation_env_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SIM_VALIDATE", "0")
+        sim = Simulator()
+        sim.schedule(-5, lambda: None)
+        monkeypatch.setenv("REPRO_SIM_VALIDATE", "1")
+        with pytest.raises(SimulationError):
+            Simulator().schedule(-1, lambda: None)
+
+
+class TestProcessResume:
+    def test_resume_after_finish_returns_none_and_fires_hook_once(self):
+        hits = []
+
+        def gen():
+            yield 1
+
+        proc = Process(gen(), on_finish=lambda: hits.append(1))
+        assert proc.resume() == 1
+        assert proc.resume() is None
+        assert proc.resume() is None
+        assert proc.resume() is None
+        assert hits == [1]
+        assert proc.finished
+        assert proc.result is None
+
+    def test_resume_carries_sent_values_and_return(self):
+        def gen():
+            got = yield "op"
+            assert got == 42
+            return "retval"
+
+        proc = Process(gen())
+        assert proc.resume() == "op"
+        assert proc.resume(42) is None
+        assert proc.result == "retval"
+
+
+class TestCollectionSmoke:
+    """Both suites must collect with zero errors from the repo root — this is
+    the regression test for the conftest-shadowing bug that broke the seed."""
+
+    @pytest.mark.parametrize("target", ["tests", "benchmarks"])
+    def test_collects_cleanly(self, target):
+        env = dict(os.environ)
+        src = str(REPO_ROOT / "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        result = subprocess.run(
+            [sys.executable, "-m", "pytest", target, "--collect-only", "-q"],
+            cwd=REPO_ROOT, env=env, capture_output=True, text=True,
+            timeout=300,
+        )
+        tail = result.stdout[-2000:] + result.stderr[-2000:]
+        # pytest exits non-zero (2) on any collection error.
+        assert result.returncode == 0, tail
+        assert "tests collected" in result.stdout, tail
+        assert "errors" not in result.stdout.splitlines()[-1], tail

@@ -10,7 +10,7 @@ import pytest
 from repro.core import api
 from repro.sim.program import Compute
 
-from conftest import ALL_MECHANISMS, build_system
+from repro.testing import ALL_MECHANISMS, build_system
 
 
 def run_lock_workload(system, lock, ops_per_core, cs_instructions=10):

@@ -8,7 +8,7 @@ from repro.core.messages import Message, Opcode
 from repro.sim.program import Compute, Load, Store
 from repro.workloads.base import RunMetrics, collect_metrics, scaled
 
-from conftest import build_system
+from repro.testing import build_system
 
 
 class TestMemorySystemPaths:

@@ -7,7 +7,7 @@ import pytest
 from repro.core import api
 from repro.sim.program import Compute
 
-from conftest import build_system
+from repro.testing import build_system
 
 
 def lock_coupling_workload(system, num_locks, ops_per_core, seed=0):

@@ -9,7 +9,7 @@ from repro.sim.energy import compute_energy
 from repro.sim.program import Compute, Load
 from repro.sim.stats import SystemStats
 
-from conftest import build_system
+from repro.testing import build_system
 
 
 class TestRmwExtension:

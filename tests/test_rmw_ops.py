@@ -10,7 +10,7 @@ import pytest
 from repro.core.rmw import RMW_OPS as RMW_FUNCTIONS
 from repro.sim.program import Compute, RMW_OPS, RmwOp
 
-from conftest import build_system
+from repro.testing import build_system
 
 #: mechanisms with rmw hardware (everything but the bakery).
 RMW_MECHANISMS = (

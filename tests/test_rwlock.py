@@ -14,7 +14,7 @@ from repro.core.protocol import ProtocolError
 from repro.sim.program import Compute, RW_READ_ACQUIRE, RW_WRITE_ACQUIRE
 from repro.sync.logic import LogicError, SyncLogic
 
-from conftest import ALL_MECHANISMS, SPIN_MECHANISMS, build_system
+from repro.testing import ALL_MECHANISMS, SPIN_MECHANISMS, build_system
 
 RW_MECHANISMS = ALL_MECHANISMS + SPIN_MECHANISMS
 

@@ -5,7 +5,7 @@ import pytest
 from repro.core import api
 from repro.sim.program import Compute
 
-from conftest import ALL_MECHANISMS, build_system
+from repro.testing import ALL_MECHANISMS, build_system
 
 MECHS = tuple(m for m in ALL_MECHANISMS)
 

@@ -22,7 +22,7 @@ from repro.sync.remote_atomics import (
     unpack,
 )
 
-from conftest import SPIN_MECHANISMS, build_system
+from repro.testing import SPIN_MECHANISMS, build_system
 
 
 # ----------------------------------------------------------------------

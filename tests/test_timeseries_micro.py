@@ -13,7 +13,7 @@ from repro.workloads.timeseries import (
     matrix_profile_reference,
 )
 
-from conftest import build_system
+from repro.testing import build_system
 
 
 class TestSeriesGeneration:

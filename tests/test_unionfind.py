@@ -7,7 +7,7 @@ from repro.workloads.base import run_workload
 from repro.workloads.graphs.datasets import Graph, load_dataset
 from repro.workloads.unionfind import SequentialUnionFind, UnionFindWorkload
 
-from conftest import build_system
+from repro.testing import build_system
 
 
 class TestSequentialUnionFind:
