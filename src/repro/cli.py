@@ -7,13 +7,21 @@
     python -m repro run table1
     python -m repro run fig22 --arg combos=ts.air
     python -m repro run fig10 --arg primitive=lock --plot
+    python -m repro run fig12 --jobs 4       # parallel sweep + result cache
     python -m repro run ext_rwlock --plot    # extension experiments
+    python -m repro sweep --mechanisms syncron,hier --apps bfs.wk,cc.sl \
+        --vary link_latency=1,4,16           # ad-hoc scenario matrices
     python -m repro quickstart               # the README example
 
 Each ``run`` target calls the corresponding function in
 :mod:`repro.harness.experiments` / :mod:`repro.harness.motivation` /
 :mod:`repro.harness.ablations` and prints its rows as a text table;
-``--plot`` adds a terminal chart in the figure's shape.
+``--plot`` adds a terminal chart in the figure's shape.  ``--jobs N`` fans
+the figure's simulations across N worker processes; results are cached in
+``$REPRO_CACHE_DIR`` (default ``.repro-cache/``) so re-runs only simulate
+cache misses (``--no-cache`` disables that).  ``sweep`` composes scenario
+matrices no figure hard-codes: any workload set x mechanisms x swept
+SystemConfig fields.
 """
 
 from __future__ import annotations
@@ -25,6 +33,8 @@ from typing import Dict, List, Optional, Tuple
 from repro.harness import ablations, experiments, motivation
 from repro.harness.plotting import bar_chart, line_chart
 from repro.harness.reporting import format_table
+from repro.harness.runner import STATS, execution_options, run_sweep
+from repro.harness.specs import SweepSpec, expand_matrix, validate_names
 
 #: experiment name -> (callable, description).
 EXPERIMENTS: Dict[str, tuple] = {
@@ -161,8 +171,12 @@ def cmd_run(args) -> int:
     if name in _POSITIONAL and _POSITIONAL[name] not in kwargs:
         print(f"{name} needs --arg {_POSITIONAL[name]}=...", file=sys.stderr)
         return 2
-    result = fn(**kwargs)
+    STATS.reset()
+    with execution_options(jobs=args.jobs, cache=not args.no_cache,
+                           cache_dir=args.cache_dir):
+        result = fn(**kwargs)
     _print_result(name, result)
+    print(f"[runner] {STATS.summary()}", file=sys.stderr)
     if getattr(args, "plot", False):
         chart = render_plot(name, result)
         if chart is None:
@@ -170,6 +184,88 @@ def cmd_run(args) -> int:
         else:
             print()
             print(chart)
+    return 0
+
+
+# ----------------------------------------------------------------------
+# sweep: ad-hoc scenario matrices (beyond any hard-coded figure)
+# ----------------------------------------------------------------------
+_SWEEP_LABEL_KEYS = {"app": "combo", "structure": "structure",
+                     "primitive": "primitive"}
+
+
+def _csv(text: Optional[str]) -> Tuple[str, ...]:
+    if not text:
+        return ()
+    return tuple(part for part in (p.strip() for p in text.split(",")) if part)
+
+
+def cmd_sweep(args) -> int:
+    apps = _csv(args.apps)
+    structures = _csv(args.structures)
+    primitives = _csv(args.primitives)
+    workloads: List[Tuple[str, Dict]] = []
+    workloads.extend(("app", {"combo": combo}) for combo in apps)
+    workloads.extend(("structure", {"structure": s}) for s in structures)
+    workloads.extend(
+        ("primitive", {"primitive": p, "interval": args.interval,
+                       "rounds": args.rounds})
+        for p in primitives
+    )
+    if not workloads:
+        print("sweep needs at least one workload: --apps, --structures, "
+              "or --primitives", file=sys.stderr)
+        return 2
+    mechanisms = _csv(args.mechanisms) or _MECHS
+    # fail fast on typos — workers must never see bad names mid-sweep.
+    error = validate_names(apps=apps, structures=structures,
+                           primitives=primitives, mechanisms=mechanisms)
+    if error:
+        print(f"sweep: {error}", file=sys.stderr)
+        return 2
+    vary: Dict[str, tuple] = {}
+    for item in args.vary or []:
+        if "=" not in item:
+            print(f"--vary expects field=v1,v2,..., got {item!r}", file=sys.stderr)
+            return 2
+        key, values = item.split("=", 1)
+        parsed = _parse_value(values)
+        vary[key] = parsed if isinstance(parsed, tuple) else (parsed,)
+
+    try:
+        labeled = expand_matrix(workloads, mechanisms, vary=vary,
+                                preset=args.preset, seed=args.seed)
+    except ValueError as exc:
+        print(f"sweep: {exc}", file=sys.stderr)
+        return 2
+
+    STATS.reset()
+    with execution_options(jobs=args.jobs, cache=not args.no_cache,
+                           cache_dir=args.cache_dir):
+        results = run_sweep(SweepSpec.of(
+            "cli_sweep", (spec for _label, spec in labeled)))
+
+    # One table row per (workload, vary combo); mechanisms are columns.
+    # expand_matrix emits mechanisms innermost, so chunk by their count.
+    rows = []
+    for start in range(0, len(labeled), len(mechanisms)):
+        chunk = labeled[start:start + len(mechanisms)]
+        label = chunk[0][0]
+        row: Dict[str, object] = {
+            "workload": label["args"][_SWEEP_LABEL_KEYS[label["workload"]]],
+        }
+        row.update(label["overrides"])
+        metrics = {
+            lbl["mechanism"]: m
+            for (lbl, _spec), m in zip(chunk, results[start:start + len(mechanisms)])
+        }
+        base = metrics[mechanisms[0]].cycles
+        for mech, m in metrics.items():
+            row[f"{mech}_cycles"] = m.cycles
+            row[f"{mech}_speedup"] = base / m.cycles if m.cycles else float("inf")
+        rows.append(row)
+    print(format_table(rows, title="sweep"))
+    print(f"[runner] {STATS.summary()}", file=sys.stderr)
     return 0
 
 
@@ -203,12 +299,48 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("list", help="list reproducible tables/figures")
 
+    def add_runner_flags(cmd):
+        cmd.add_argument("--jobs", type=int, default=1, metavar="N",
+                         help="worker processes for the sweep runner (default 1)")
+        cmd.add_argument("--no-cache", action="store_true",
+                         help="ignore and don't write the on-disk result cache")
+        cmd.add_argument("--cache-dir", default=None, metavar="DIR",
+                         help="result-cache directory (default $REPRO_CACHE_DIR "
+                              "or .repro-cache)")
+
     run = sub.add_parser("run", help="run one experiment and print its table")
     run.add_argument("experiment", help="e.g. fig11, table1, ext_rwlock")
     run.add_argument("--arg", action="append", metavar="KEY=VALUE",
                      help="experiment keyword argument (repeatable)")
     run.add_argument("--plot", action="store_true",
                      help="also draw a terminal chart in the figure's shape")
+    add_runner_flags(run)
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="run an ad-hoc scenario matrix (workloads x mechanisms x config)",
+    )
+    sweep.add_argument("--apps", metavar="A,B,...",
+                       help="application-input combos, e.g. bfs.wk,cc.sl,ts.air")
+    sweep.add_argument("--structures", metavar="S,T,...",
+                       help="data structures, e.g. stack,queue,bst_fg")
+    sweep.add_argument("--primitives", metavar="P,Q,...",
+                       help="sync primitives, e.g. lock,barrier")
+    sweep.add_argument("--interval", type=int, default=200,
+                       help="instruction interval for --primitives (default 200)")
+    sweep.add_argument("--rounds", type=int, default=25,
+                       help="rounds for --primitives (default 25)")
+    sweep.add_argument("--mechanisms", metavar="M,N,...",
+                       help="mechanisms to compare (default central,hier,"
+                            "syncron,ideal); first is the speedup baseline")
+    sweep.add_argument("--vary", action="append", metavar="FIELD=V1,V2,...",
+                       help="sweep a SystemConfig field (repeatable; cross "
+                            "product), e.g. link_latency=40,100,500")
+    sweep.add_argument("--preset", default="ndp_2_5d",
+                       help="base SystemConfig preset (default ndp_2_5d)")
+    sweep.add_argument("--seed", type=int, default=None,
+                       help="workload seed forwarded to seedable workloads")
+    add_runner_flags(sweep)
 
     sub.add_parser("quickstart", help="run the README quickstart")
     return parser
@@ -216,7 +348,8 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: List[str] = None) -> int:
     args = build_parser().parse_args(argv)
-    handler = {"list": cmd_list, "run": cmd_run, "quickstart": cmd_quickstart}
+    handler = {"list": cmd_list, "run": cmd_run, "sweep": cmd_sweep,
+               "quickstart": cmd_quickstart}
     return handler[args.command](args)
 
 

@@ -13,20 +13,17 @@ the paper's mechanisms, returning rows in the same shape as
   over a plain mutex as the read share of the operation mix grows.
 - :func:`fairness_sweep` — the Sec. 4.4.2 fairness threshold: throughput
   cost vs cross-unit grant spread.
+
+All are sweep declarations executed by :mod:`repro.harness.runner`.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Sequence
 
-from repro.core import api
-from repro.sim.config import DDR4, ndp_2_5d
-from repro.sim.program import Compute
-from repro.sim.system import NDPSystem
-from repro.workloads.base import run_workload, scaled
-from repro.workloads.datastructures import BSTFineGrainedWorkload, StackWorkload
-from repro.workloads.microbench import PrimitiveMicrobench
-from repro.workloads.rwbench import RWLockMicrobench
+from repro.harness.runner import run_sweep
+from repro.harness.specs import RunSpec, SweepSpec
+from repro.workloads.base import scaled
 
 #: mechanisms the spin-baseline comparison covers, slowest first.
 SPIN_COMPARISON = ("bakery", "rmw_spin", "central", "hier", "syncron", "ideal")
@@ -45,16 +42,21 @@ def spin_baselines(
     message passing as soon as multiple units contend.
     """
     rounds = rounds if rounds is not None else scaled(15)
+    units_per_step = [max(cores // 15, 1) for cores in core_steps]
+    specs = [
+        RunSpec.make("primitive", mech,
+                     args={"primitive": "lock", "interval": interval,
+                           "rounds": rounds},
+                     overrides={"num_units": units})
+        for units in units_per_step
+        for mech in mechanisms
+    ]
+    results = iter(run_sweep(SweepSpec.of("ext_spin", specs)))
     rows = []
-    for cores in core_steps:
-        units = max(cores // 15, 1)
-        config = ndp_2_5d(num_units=units)
+    for cores, units in zip(core_steps, units_per_step):
         row: Dict[str, object] = {"cores": cores, "units": units}
         for mech in mechanisms:
-            metrics = run_workload(
-                lambda: PrimitiveMicrobench("lock", interval, rounds=rounds),
-                config, mech,
-            )
+            metrics = next(results)
             row[mech] = metrics.ops_per_second / 1e6
             row[f"{mech}_global_msgs"] = metrics.stats["sync_messages_global"]
         rows.append(row)
@@ -71,12 +73,19 @@ def overflow_target_sweep(
     cache's latency advantage over a DRAM row access is what the adaptation
     banks on.
     """
+    specs = [
+        RunSpec.make("structure", "syncron", args={"structure": "bst_fg"},
+                     overrides={"st_entries": st, "overflow_target": target,
+                                "memory": "DDR4"})
+        for st in st_sizes
+        for target in targets
+    ]
+    results = iter(run_sweep(SweepSpec.of("ext_overflow", specs)))
     rows = []
     for st in st_sizes:
         row: Dict[str, object] = {"st_entries": st}
         for target in targets:
-            config = ndp_2_5d(st_entries=st, overflow_target=target, memory=DDR4)
-            metrics = run_workload(BSTFineGrainedWorkload, config, "syncron")
+            metrics = next(results)
             row[target] = metrics.ops_per_ms
             row[f"{target}_overflow_pct"] = metrics.overflow_request_pct
         rows.append(row)
@@ -95,23 +104,24 @@ def rwlock_read_ratio(
     The gap should widen as the read share grows.
     """
     rounds = rounds if rounds is not None else scaled(15)
-    config = ndp_2_5d()
+    specs = []
+    for read_pct in read_pcts:
+        specs.append(RunSpec.make(
+            "rwbench", "syncron",
+            args={"read_pct": read_pct, "rounds": rounds, "mutex_mode": True},
+        ))
+        specs.extend(
+            RunSpec.make("rwbench", mech,
+                         args={"read_pct": read_pct, "rounds": rounds})
+            for mech in mechanisms
+        )
+    results = iter(run_sweep(SweepSpec.of("ext_rwlock", specs)))
     rows = []
     for read_pct in read_pcts:
         row: Dict[str, object] = {"read_pct": read_pct}
-        mutex = run_workload(
-            lambda: RWLockMicrobench(
-                read_pct=read_pct, rounds=rounds, mutex_mode=True
-            ),
-            config, "syncron",
-        )
-        row["mutex"] = mutex.ops_per_second / 1e6
+        row["mutex"] = next(results).ops_per_second / 1e6
         for mech in mechanisms:
-            metrics = run_workload(
-                lambda: RWLockMicrobench(read_pct=read_pct, rounds=rounds),
-                config, mech,
-            )
-            row[mech] = metrics.ops_per_second / 1e6
+            row[mech] = next(results).ops_per_second / 1e6
         rows.append(row)
     return rows
 
@@ -127,23 +137,22 @@ def unionfind_connectivity(
     chases, unions are write-locked mutations, and dense real streams are
     read-dominated because most edges land inside an existing component.
     """
-    from repro.workloads.unionfind import UnionFindWorkload
-
     edge_limit = edge_limit if edge_limit is not None else scaled(300)
-    config = ndp_2_5d()
+    specs = [
+        RunSpec.make("unionfind", mech,
+                     args={"dataset": dataset, "edge_limit": edge_limit,
+                           "mutex_mode": mutex_mode})
+        for dataset in datasets
+        for mech in mechanisms
+        for mutex_mode in (False, True)
+    ]
+    results = iter(run_sweep(SweepSpec.of("ext_unionfind", specs)))
     rows = []
     for dataset in datasets:
         row: Dict[str, object] = {"dataset": dataset}
         for mech in mechanisms:
-            rw = run_workload(
-                lambda: UnionFindWorkload(dataset, edge_limit=edge_limit),
-                config, mech,
-            )
-            mutex = run_workload(
-                lambda: UnionFindWorkload(dataset, mutex_mode=True,
-                                          edge_limit=edge_limit),
-                config, mech,
-            )
+            rw = next(results)
+            mutex = next(results)
             row[f"{mech}_rw_ops_ms"] = rw.ops_per_ms
             row[f"{mech}_mutex_ops_ms"] = mutex.ops_per_ms
             row[f"{mech}_rw_speedup"] = mutex.cycles / rw.cycles
@@ -162,35 +171,16 @@ def fairness_sweep(
     hogs it and remote units finish late.
     """
     rounds = rounds if rounds is not None else scaled(20)
+    specs = [
+        RunSpec.make("fairness", "syncron", args={"rounds": rounds},
+                     overrides={"num_units": 2, "fairness_threshold": threshold})
+        for threshold in thresholds
+    ]
+    results = iter(run_sweep(SweepSpec.of("ext_fairness", specs)))
     rows = []
     for threshold in thresholds:
-        config = ndp_2_5d(num_units=2, fairness_threshold=threshold)
-        system = NDPSystem(config, mechanism="syncron")
-        lock = system.create_syncvar(unit=0, name="fair")
-        state = {"count": 0}
-
-        def worker():
-            for _ in range(rounds):
-                yield api.lock_acquire(lock)
-                state["count"] += 1
-                yield Compute(40)
-                yield api.lock_release(lock)
-
-        makespan = system.run_programs(
-            {core.core_id: worker() for core in system.cores}
-        )
-        unit_finish = {
-            unit: max(
-                core.finish_time for core in system.cores_in_unit(unit)
-            )
-            for unit in range(config.num_units)
-        }
-        rows.append({
-            "threshold": threshold,
-            "makespan": makespan,
-            "unit_finish_spread": max(unit_finish.values()) - min(unit_finish.values()),
-            "acquires": state["count"],
-        })
+        point = next(results)
+        rows.append({"threshold": threshold, **point})
     return rows
 
 
@@ -206,26 +196,18 @@ def smt_sweep(
     memory stalls, saturating once the shared pipeline (1 IPC) becomes
     the bottleneck.
     """
+    specs = [
+        RunSpec.make("smt", mech, args={"rounds_per_core": rounds_per_core},
+                     overrides={"num_units": 2, "threads_per_core": threads})
+        for threads in thread_counts
+        for mech in mechanisms
+    ]
+    results = iter(run_sweep(SweepSpec.of("ext_smt", specs)))
     rows = []
     for threads in thread_counts:
-        config = ndp_2_5d(num_units=2, threads_per_core=threads)
         row: Dict[str, object] = {"threads_per_core": threads}
         for mech in mechanisms:
-            system = NDPSystem(config, mechanism=mech)
-            lock = system.create_syncvar(unit=0, name="smt")
-            rounds = max(rounds_per_core // threads, 1)
-
-            def worker():
-                for _ in range(rounds):
-                    yield api.lock_acquire(lock)
-                    yield Compute(5)
-                    yield api.lock_release(lock)
-                    yield Compute(120)
-
-            makespan = system.run_programs(
-                {core.core_id: worker() for core in system.cores}
-            )
-            row[mech] = makespan
+            row[mech] = next(results)["makespan"]
         rows.append(row)
     return rows
 
@@ -239,11 +221,17 @@ def se_vs_server_latency(
     reports where SynCron's advantage over the software server disappears —
     the ablation DESIGN.md calls out for the paper's 12-cycle choice.
     """
+    specs = [
+        RunSpec.make("structure", mech, args={"structure": "stack"},
+                     overrides={"se_service_se_cycles": cycles})
+        for cycles in se_cycles
+        for mech in ("syncron", "hier")
+    ]
+    results = iter(run_sweep(SweepSpec.of("ext_se_knee", specs)))
     rows = []
     for cycles in se_cycles:
-        config = ndp_2_5d(se_service_se_cycles=cycles)
-        syncron = run_workload(StackWorkload, config, "syncron")
-        hier = run_workload(StackWorkload, config, "hier")
+        syncron = next(results)
+        hier = next(results)
         rows.append({
             "se_service_cycles": cycles,
             "syncron_ops_ms": syncron.ops_per_ms,

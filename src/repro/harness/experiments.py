@@ -6,25 +6,26 @@ target and prints the same series the paper plots.  Absolute numbers differ
 from the paper (different simulator, scaled-down inputs — see
 EXPERIMENTS.md); the *shape* (who wins, crossover positions) is the
 reproduction target.
+
+Each figure is now a *sweep declaration*: it builds a list of
+:class:`~repro.harness.specs.RunSpec` and feeds
+:func:`~repro.harness.runner.run_sweep`, which deduplicates, consults the
+result cache, and fans misses out across ``--jobs`` worker processes.  Row
+assembly happens afterwards from the returned metrics, so parallel and
+serial execution produce bit-identical rows.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
-from repro.sim.config import MEMORY_TECHNOLOGIES, SystemConfig, ndp_2_5d
-from repro.workloads.base import RunMetrics, run_workload, scaled
-from repro.workloads.datastructures import (
-    ALL_STRUCTURES,
-    BSTFineGrainedWorkload,
-    PriorityQueueWorkload,
-    QueueWorkload,
-    StackWorkload,
-)
-from repro.workloads.graphs import ALL_KERNELS, bfs_partition, load_dataset, random_partition
+from repro.harness.runner import run_sweep
+from repro.harness.specs import RunSpec, SweepSpec
+from repro.sim.config import MEMORY_TECHNOLOGIES, ndp_2_5d
+from repro.workloads.base import scaled
+from repro.workloads.graphs import bfs_partition, load_dataset, random_partition
 from repro.workloads.graphs.partition import edge_cut
-from repro.workloads.microbench import PRIMITIVES, PrimitiveMicrobench
-from repro.workloads.timeseries import TimeSeriesWorkload
+from repro.workloads.microbench import PRIMITIVES
 
 #: the mechanisms Figs. 10-19 compare.
 MECHANISMS = ("central", "hier", "syncron", "ideal")
@@ -39,18 +40,16 @@ APP_INPUTS: List[str] = [
 ] + [f"ts.{dataset}" for dataset in TS_DATASETS]
 
 
-def _app_factory(combo: str) -> Callable:
-    """Zero-arg factory for an application-input combination."""
-    app, dataset = combo.split(".")
-    if app == "ts":
-        return lambda: TimeSeriesWorkload(dataset)
-    kernel_cls = ALL_KERNELS[app]
-    return lambda: kernel_cls(dataset=dataset)
+def _app_spec(combo: str, mechanism: str, overrides: Optional[dict] = None,
+              partitioner: Optional[str] = None) -> RunSpec:
+    args = {"combo": combo}
+    if partitioner is not None:
+        args["partitioner"] = partitioner
+    return RunSpec.make("app", mechanism, args=args, overrides=overrides)
 
 
-def _units_config(num_units: int, base: Optional[SystemConfig] = None) -> SystemConfig:
-    cfg = base or ndp_2_5d()
-    return cfg.with_(num_units=num_units)
+def _units_overrides(num_units: int) -> dict:
+    return {"num_units": num_units}
 
 
 # ======================================================================
@@ -72,18 +71,19 @@ def fig10(primitive: str, intervals: Optional[Sequence[int]] = None,
         raise ValueError(f"primitive must be one of {PRIMITIVES}")
     intervals = intervals or FIG10_INTERVALS[primitive]
     rounds = rounds if rounds is not None else scaled(25)
-    config = ndp_2_5d()
+    specs = [
+        RunSpec.make("primitive", mech,
+                     args={"primitive": primitive, "interval": interval,
+                           "rounds": rounds})
+        for interval in intervals
+        for mech in mechanisms
+    ]
+    results = iter(run_sweep(SweepSpec.of(f"fig10:{primitive}", specs)))
     rows = []
     for interval in intervals:
-        row = {"interval": interval}
-        runs = {
-            mech: run_workload(
-                lambda: PrimitiveMicrobench(primitive, interval, rounds=rounds),
-                config, mech,
-            )
-            for mech in mechanisms
-        }
+        runs = {mech: next(results) for mech in mechanisms}
         base = runs[mechanisms[0]].cycles
+        row = {"interval": interval}
         for mech, metrics in runs.items():
             row[mech] = base / metrics.cycles
             row[f"{mech}_cycles"] = metrics.cycles
@@ -97,14 +97,19 @@ def fig10(primitive: str, intervals: Optional[Sequence[int]] = None,
 def fig11(structure: str, core_steps: Sequence[int] = (15, 30, 45, 60),
           mechanisms: Sequence[str] = MECHANISMS) -> List[Dict]:
     """Throughput (Mops/s) per mechanism as NDP units are added."""
-    cls = ALL_STRUCTURES[structure]
+    units_per_step = [max(cores // 15, 1) for cores in core_steps]
+    specs = [
+        RunSpec.make("structure", mech, args={"structure": structure},
+                     overrides=_units_overrides(units))
+        for units in units_per_step
+        for mech in mechanisms
+    ]
+    results = iter(run_sweep(SweepSpec.of(f"fig11:{structure}", specs)))
     rows = []
-    for cores in core_steps:
-        units = max(cores // 15, 1)
-        config = _units_config(units)
+    for cores, units in zip(core_steps, units_per_step):
         row = {"cores": cores, "units": units}
         for mech in mechanisms:
-            metrics = run_workload(cls, config, mech)
+            metrics = next(results)
             row[mech] = metrics.ops_per_second / 1e6
             row[f"{mech}_cycles"] = metrics.cycles
         rows.append(row)
@@ -116,11 +121,13 @@ def fig11(structure: str, core_steps: Sequence[int] = (15, 30, 45, 60),
 # ======================================================================
 def fig12(combos: Sequence[str] = tuple(APP_INPUTS),
           mechanisms: Sequence[str] = MECHANISMS) -> List[Dict]:
-    config = ndp_2_5d()
+    specs = [
+        _app_spec(combo, mech) for combo in combos for mech in mechanisms
+    ]
+    results = iter(run_sweep(SweepSpec.of("fig12", specs)))
     rows = []
     for combo in combos:
-        factory = _app_factory(combo)
-        runs = {mech: run_workload(factory, config, mech) for mech in mechanisms}
+        runs = {mech: next(results) for mech in mechanisms}
         base = runs["central"].cycles if "central" in runs else runs[mechanisms[0]].cycles
         row = {"app": combo}
         for mech, metrics in runs.items():
@@ -152,13 +159,15 @@ def headline_summary(rows: List[Dict]) -> Dict[str, float]:
 def fig13(combos: Sequence[str] = ("bfs.sl", "cc.sx", "sssp.co", "pr.wk",
                                    "tf.sl", "tc.sx", "ts.air", "ts.pow"),
           unit_steps: Sequence[int] = (1, 2, 3, 4)) -> List[Dict]:
+    specs = [
+        _app_spec(combo, "syncron", overrides=_units_overrides(units))
+        for combo in combos
+        for units in unit_steps
+    ]
+    results = iter(run_sweep(SweepSpec.of("fig13", specs)))
     rows = []
     for combo in combos:
-        factory = _app_factory(combo)
-        cycles = {}
-        for units in unit_steps:
-            metrics = run_workload(factory, _units_config(units), "syncron")
-            cycles[units] = metrics.cycles
+        cycles = {units: next(results).cycles for units in unit_steps}
         base = cycles[unit_steps[0]]
         row = {"app": combo}
         for units in unit_steps:
@@ -174,11 +183,13 @@ def fig14(combos: Sequence[str] = ("bfs.sl", "cc.sx", "sssp.co", "pr.wk",
                                    "tf.sl", "tc.sx", "ts.air", "ts.pow"),
           mechanisms: Sequence[str] = MECHANISMS) -> List[Dict]:
     """Energy by component, normalized to Central's total per app."""
-    config = ndp_2_5d()
+    specs = [
+        _app_spec(combo, mech) for combo in combos for mech in mechanisms
+    ]
+    results = iter(run_sweep(SweepSpec.of("fig14", specs)))
     rows = []
     for combo in combos:
-        factory = _app_factory(combo)
-        runs = {mech: run_workload(factory, config, mech) for mech in mechanisms}
+        runs = {mech: next(results) for mech in mechanisms}
         baseline = runs["central"].energy
         row = {"app": combo}
         for mech, metrics in runs.items():
@@ -191,11 +202,13 @@ def fig15(combos: Sequence[str] = ("bfs.sl", "cc.sx", "sssp.co", "pr.wk",
                                    "tf.sl", "tc.sx", "ts.air", "ts.pow"),
           mechanisms: Sequence[str] = MECHANISMS) -> List[Dict]:
     """Bytes moved inside/across NDP units, normalized to Central."""
-    config = ndp_2_5d()
+    specs = [
+        _app_spec(combo, mech) for combo in combos for mech in mechanisms
+    ]
+    results = iter(run_sweep(SweepSpec.of("fig15", specs)))
     rows = []
     for combo in combos:
-        factory = _app_factory(combo)
-        runs = {mech: run_workload(factory, config, mech) for mech in mechanisms}
+        runs = {mech: next(results) for mech in mechanisms}
         base_total = runs["central"].total_bytes or 1
         row = {"app": combo}
         for mech, metrics in runs.items():
@@ -217,15 +230,20 @@ FIG16_LATENCIES_NS = (40, 100, 200, 500, 1000, 2000, 4500, 9000)
 def fig16(structures: Sequence[str] = ("stack", "priority_queue"),
           latencies_ns: Sequence[float] = FIG16_LATENCIES_NS,
           mechanisms: Sequence[str] = MECHANISMS) -> List[Dict]:
+    specs = [
+        RunSpec.make("structure", mech, args={"structure": structure},
+                     overrides={"link_latency_ns": float(latency)})
+        for structure in structures
+        for latency in latencies_ns
+        for mech in mechanisms
+    ]
+    results = iter(run_sweep(SweepSpec.of("fig16", specs)))
     rows = []
     for structure in structures:
-        cls = ALL_STRUCTURES[structure]
         for latency in latencies_ns:
-            config = ndp_2_5d(link_latency_ns=float(latency))
             row = {"structure": structure, "latency_ns": latency}
             for mech in mechanisms:
-                metrics = run_workload(cls, config, mech)
-                row[mech] = metrics.ops_per_second / 1e6
+                row[mech] = next(results).ops_per_second / 1e6
             rows.append(row)
     return rows
 
@@ -234,15 +252,18 @@ def fig17(latencies_ns: Sequence[float] = (40, 100, 200, 500),
           mechanisms: Sequence[str] = ("central", "hier", "syncron"),
           combo: str = "pr.wk") -> List[Dict]:
     """Slowdown vs Ideal (lower is better), per link latency."""
+    specs = [
+        _app_spec(combo, mech, overrides={"link_latency_ns": float(latency)})
+        for latency in latencies_ns
+        for mech in ("ideal", *mechanisms)
+    ]
+    results = iter(run_sweep(SweepSpec.of("fig17", specs)))
     rows = []
     for latency in latencies_ns:
-        config = ndp_2_5d(link_latency_ns=float(latency))
-        factory = _app_factory(combo)
-        ideal = run_workload(factory, config, "ideal")
+        ideal = next(results)
         row = {"latency_ns": latency, "ideal_cycles": ideal.cycles}
         for mech in mechanisms:
-            metrics = run_workload(factory, config, mech)
-            row[mech] = metrics.cycles / ideal.cycles
+            row[mech] = next(results).cycles / ideal.cycles
         rows.append(row)
     return rows
 
@@ -252,12 +273,18 @@ def fig17(latencies_ns: Sequence[float] = (40, 100, 200, 500),
 # ======================================================================
 def fig18(combos: Sequence[str] = ("cc.wk", "pr.wk", "ts.pow"),
           mechanisms: Sequence[str] = MECHANISMS) -> List[Dict]:
+    memories = tuple(MEMORY_TECHNOLOGIES)
+    specs = [
+        _app_spec(combo, mech, overrides={"memory": memory_name})
+        for combo in combos
+        for memory_name in memories
+        for mech in mechanisms
+    ]
+    results = iter(run_sweep(SweepSpec.of("fig18", specs)))
     rows = []
     for combo in combos:
-        factory = _app_factory(combo)
-        for memory_name, timing in MEMORY_TECHNOLOGIES.items():
-            config = ndp_2_5d().with_(memory=timing)
-            runs = {mech: run_workload(factory, config, mech) for mech in mechanisms}
+        for memory_name in memories:
+            runs = {mech: next(results) for mech in mechanisms}
             base = runs["central"].cycles
             row = {"app": combo, "memory": memory_name}
             for mech, metrics in runs.items():
@@ -271,22 +298,22 @@ def fig18(combos: Sequence[str] = ("cc.wk", "pr.wk", "ts.pow"),
 # ======================================================================
 def fig19(datasets: Sequence[str] = GRAPH_DATASETS,
           mechanisms: Sequence[str] = MECHANISMS) -> List[Dict]:
-    from repro.workloads.graphs.kernels import PageRankWorkload
-
     config = ndp_2_5d()
+    partitionings = ("random", "metis")
+    specs = [
+        _app_spec(f"pr.{dataset}", mech, partitioner=label)
+        for dataset in datasets
+        for label in partitionings
+        for mech in mechanisms
+    ]
+    results = iter(run_sweep(SweepSpec.of("fig19", specs)))
     rows = []
     for dataset in datasets:
         graph = load_dataset(dataset)
         cut_random = edge_cut(graph, random_partition(graph, config.num_units, seed=7))
         cut_metis = edge_cut(graph, bfs_partition(graph, config.num_units))
-        for label, partitioner in (
-            ("random", lambda g, parts: random_partition(g, parts, seed=7)),
-            ("metis", bfs_partition),
-        ):
-            def factory(partitioner=partitioner):
-                return PageRankWorkload(dataset=dataset, partitioner=partitioner)
-
-            runs = {mech: run_workload(factory, config, mech) for mech in mechanisms}
+        for label in partitionings:
+            runs = {mech: next(results) for mech in mechanisms}
             base = runs["central"].cycles
             row = {
                 "dataset": dataset,
@@ -307,12 +334,15 @@ def fig19(datasets: Sequence[str] = GRAPH_DATASETS,
 def fig20(combos: Optional[Sequence[str]] = None) -> List[Dict]:
     """SynCron speedup normalized to flat on graph workloads."""
     combos = combos or [c for c in APP_INPUTS if not c.startswith("ts.")]
-    config = ndp_2_5d()
+    specs = [
+        _app_spec(combo, mech)
+        for combo in combos
+        for mech in ("syncron_flat", "syncron")
+    ]
+    results = iter(run_sweep(SweepSpec.of("fig20", specs)))
     rows = []
     for combo in combos:
-        factory = _app_factory(combo)
-        flat = run_workload(factory, config, "syncron_flat")
-        hier = run_workload(factory, config, "syncron")
+        flat, hier = next(results), next(results)
         rows.append({
             "app": combo,
             "syncron_vs_flat": flat.cycles / hier.cycles,
@@ -321,13 +351,18 @@ def fig20(combos: Optional[Sequence[str]] = None) -> List[Dict]:
 
 
 def fig21a(latencies_ns: Sequence[float] = (40, 100, 200, 500)) -> List[Dict]:
+    specs = [
+        _app_spec(f"ts.{dataset}", mech,
+                  overrides={"link_latency_ns": float(latency)})
+        for dataset in TS_DATASETS
+        for latency in latencies_ns
+        for mech in ("syncron_flat", "syncron")
+    ]
+    results = iter(run_sweep(SweepSpec.of("fig21a", specs)))
     rows = []
     for dataset in TS_DATASETS:
         for latency in latencies_ns:
-            config = ndp_2_5d(link_latency_ns=float(latency))
-            factory = lambda: TimeSeriesWorkload(dataset)
-            flat = run_workload(factory, config, "syncron_flat")
-            hier = run_workload(factory, config, "syncron")
+            flat, hier = next(results), next(results)
             rows.append({
                 "app": f"ts.{dataset}",
                 "latency_ns": latency,
@@ -338,13 +373,19 @@ def fig21a(latencies_ns: Sequence[float] = (40, 100, 200, 500)) -> List[Dict]:
 
 def fig21b(latencies_ns: Sequence[float] = (40, 100, 200, 500),
            core_counts: Sequence[int] = (30, 60)) -> List[Dict]:
+    specs = [
+        RunSpec.make("structure", mech, args={"structure": "queue"},
+                     overrides={"num_units": cores // 15,
+                                "link_latency_ns": float(latency)})
+        for cores in core_counts
+        for latency in latencies_ns
+        for mech in ("syncron_flat", "syncron")
+    ]
+    results = iter(run_sweep(SweepSpec.of("fig21b", specs)))
     rows = []
     for cores in core_counts:
-        units = cores // 15
         for latency in latencies_ns:
-            config = ndp_2_5d(num_units=units, link_latency_ns=float(latency))
-            flat = run_workload(QueueWorkload, config, "syncron_flat")
-            hier = run_workload(QueueWorkload, config, "syncron")
+            flat, hier = next(results), next(results)
             rows.append({
                 "cores": cores,
                 "latency_ns": latency,
@@ -358,14 +399,18 @@ def fig21b(latencies_ns: Sequence[float] = (40, 100, 200, 500),
 # ======================================================================
 def fig22(combos: Sequence[str] = ("cc.wk", "pr.wk", "ts.air", "ts.pow"),
           st_sizes: Sequence[int] = (64, 48, 32, 16, 8)) -> List[Dict]:
+    specs = [
+        _app_spec(combo, "syncron", overrides={"st_entries": st})
+        for combo in combos
+        for st in st_sizes
+    ]
+    results = iter(run_sweep(SweepSpec.of("fig22", specs)))
     rows = []
     for combo in combos:
-        factory = _app_factory(combo)
         cycles = {}
         overflow = {}
         for st in st_sizes:
-            config = ndp_2_5d(st_entries=st)
-            metrics = run_workload(factory, config, "syncron")
+            metrics = next(results)
             cycles[st] = metrics.cycles
             overflow[st] = metrics.overflow_request_pct
         base = cycles[st_sizes[0]]
@@ -382,12 +427,18 @@ def fig22(combos: Sequence[str] = ("cc.wk", "pr.wk", "ts.air", "ts.pow"),
 # ======================================================================
 def fig23(st_sizes: Sequence[int] = (16, 32, 48, 64, 128, 256)) -> List[Dict]:
     schemes = ("syncron", "syncron_central_ovrfl", "syncron_distrib_ovrfl")
+    specs = [
+        RunSpec.make("structure", scheme, args={"structure": "bst_fg"},
+                     overrides={"st_entries": st})
+        for st in st_sizes
+        for scheme in schemes
+    ]
+    results = iter(run_sweep(SweepSpec.of("fig23", specs)))
     rows = []
     for st in st_sizes:
-        config = ndp_2_5d(st_entries=st)
         row = {"st_entries": st}
         for scheme in schemes:
-            metrics = run_workload(BSTFineGrainedWorkload, config, scheme)
+            metrics = next(results)
             row[scheme] = metrics.ops_per_ms
             row[f"{scheme}_overflow_pct"] = metrics.overflow_request_pct
         rows.append(row)
@@ -398,10 +449,11 @@ def fig23(st_sizes: Sequence[int] = (16, 32, 48, 64, 128, 256)) -> List[Dict]:
 # Table 7 — ST occupancy across real applications
 # ======================================================================
 def table7(combos: Sequence[str] = tuple(APP_INPUTS)) -> List[Dict]:
-    config = ndp_2_5d()
+    specs = [_app_spec(combo, "syncron") for combo in combos]
+    results = iter(run_sweep(SweepSpec.of("table7", specs)))
     rows = []
     for combo in combos:
-        metrics = run_workload(_app_factory(combo), config, "syncron")
+        metrics = next(results)
         rows.append({
             "app": combo,
             "max_pct": metrics.st_occupancy_max_pct,

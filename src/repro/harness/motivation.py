@@ -9,87 +9,44 @@ synchronization does not fit NDP systems:
 - :func:`fig2` — slowdown of a coarse-lock stack using a MESI-based lock
   (``mesi-lock``) over an ideal zero-cost lock (``ideal-lock``), varying
   (a) cores within one NDP unit and (b) NDP units at constant core count.
+
+Both are sweep declarations over the measurement functions in
+:mod:`repro.harness.measurements`, executed (and cached/parallelized) by
+:mod:`repro.harness.runner`.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List
 
-from repro.coherence.driver import (
-    CLoad,
-    CoherentSystem,
-    CStore,
-    IdealAcquire,
-    IdealRelease,
-)
-from repro.coherence.locks import (
-    HierarchicalTicketLock,
-    tas_acquire,
-    tas_release,
-    ticket_acquire,
-    ticket_release,
-    ttas_acquire,
-    ttas_release,
-)
-from repro.sim.clock import seconds_from_core_cycles
-from repro.sim.config import cpu_numa, ndp_2_5d
-from repro.sim.program import Compute
+from repro.harness.runner import run_sweep
+from repro.harness.specs import RunSpec, SweepSpec
 from repro.workloads.base import scaled
-
-
-def _lock_microbench(system: CoherentSystem, core_ids, lock_kind: str,
-                     ops_per_thread: int) -> float:
-    """libslock-style benchmark: acquire, tiny CS, release; returns Mops/s."""
-    shared = {"count": 0}
-    if lock_kind == "ttas":
-        lock = system.alloc_line(0)
-
-        def worker():
-            for _ in range(ops_per_thread):
-                yield from ttas_acquire(lock)
-                shared["count"] += 1
-                yield Compute(20)
-                yield from ttas_release(lock)
-
-        programs = {cid: worker() for cid in core_ids}
-    elif lock_kind == "htl":
-        htl = HierarchicalTicketLock(system, system.config.num_units)
-
-        def worker(socket):
-            for _ in range(ops_per_thread):
-                yield from htl.acquire(socket)
-                shared["count"] += 1
-                yield Compute(20)
-                yield from htl.release(socket)
-
-        programs = {
-            cid: worker(system.cores[cid].unit_id) for cid in core_ids
-        }
-    else:
-        raise ValueError(f"unknown lock kind {lock_kind!r}")
-
-    cycles = system.run_programs(programs)
-    total = ops_per_thread * len(core_ids)
-    if shared["count"] != total:
-        raise AssertionError("lock microbenchmark lost operations")
-    return total / seconds_from_core_cycles(cycles) / 1e6
 
 
 def table1(ops_per_thread: int = None) -> List[Dict]:
     """Throughput (Mops/s) for the four Table 1 configurations."""
     ops = ops_per_thread if ops_per_thread is not None else scaled(150)
     cases = [
-        ("1 thread single-socket", [0]),
-        ("14 threads single-socket", list(range(14))),
-        ("2 threads same-socket", [0, 1]),
-        ("2 threads different-socket", [0, 14]),
+        ("1 thread single-socket", (0,)),
+        ("14 threads single-socket", tuple(range(14))),
+        ("2 threads same-socket", (0, 1)),
+        ("2 threads different-socket", (0, 14)),
     ]
+    lock_kinds = ("ttas", "htl")
+    specs = [
+        RunSpec.make("coherence_lock", "coherent", preset="cpu_numa",
+                     args={"lock_kind": lock_kind, "core_ids": core_ids,
+                           "ops_per_thread": ops})
+        for lock_kind in lock_kinds
+        for _label, core_ids in cases
+    ]
+    results = iter(run_sweep(SweepSpec.of("table1", specs)))
     rows = []
-    for lock_kind in ("ttas", "htl"):
+    for lock_kind in lock_kinds:
         row = {"lock": "TTAS lock" if lock_kind == "ttas" else "Hierarchical Ticket lock"}
-        for label, core_ids in cases:
-            system = CoherentSystem(cpu_numa())
-            row[label] = _lock_microbench(system, core_ids, lock_kind, ops)
+        for label, _core_ids in cases:
+            row[label] = next(results)["mops"]
         rows.append(row)
     return rows
 
@@ -97,52 +54,17 @@ def table1(ops_per_thread: int = None) -> List[Dict]:
 # ----------------------------------------------------------------------
 # Fig. 2: coarse-lock stack, mesi-lock vs ideal-lock
 # ----------------------------------------------------------------------
-def _stack_run(num_units: int, cores_per_unit: int, use_mesi_lock: bool,
-               ops_per_core: int) -> int:
-    """Run the coarse-lock stack on the coherent NDP model; returns cycles."""
-    config = ndp_2_5d(
-        num_units=num_units,
-        cores_per_unit=cores_per_unit + 1,
-        client_cores_per_unit=cores_per_unit,
+def _stack_spec(num_units: int, cores_per_unit: int, mechanism: str,
+                ops_per_core: int) -> RunSpec:
+    return RunSpec.make(
+        "mesi_stack", mechanism,
+        args={"ops_per_core": ops_per_core},
+        overrides={
+            "num_units": num_units,
+            "cores_per_unit": cores_per_unit + 1,
+            "client_cores_per_unit": cores_per_unit,
+        },
     )
-    system = CoherentSystem(config)
-    # mesi-lock: a fair coherence-based lock [Herlihy & Shavit] on the MESI
-    # directory (ticket-based; a raw TAS lock degrades far worse and would
-    # overstate Fig. 2's point).
-    ticket_next = system.alloc_line(0)
-    ticket_serving = system.alloc_line(0)
-    top_addr = system.alloc_line(0)
-    stack = [0] * 8
-    LOCK_ID = 1
-
-    def worker(core_id):
-        unit = system.cores[core_id].unit_id
-        # each core's nodes live in its own unit (thread-private data).
-        nodes = [system.alloc_line(unit) for _ in range(ops_per_core)]
-        for i in range(ops_per_core):
-            # prepare the node outside the critical section.
-            yield CStore(nodes[i], core_id)
-            if use_mesi_lock:
-                yield from ticket_acquire(ticket_next, ticket_serving)
-            else:
-                yield IdealAcquire(LOCK_ID)
-            # push: read top, link node, update top.
-            yield CLoad(top_addr)
-            stack.append(core_id)
-            yield CStore(nodes[i], len(stack))
-            yield CStore(top_addr, len(stack))
-            yield Compute(10)
-            if use_mesi_lock:
-                yield from ticket_release(ticket_serving)
-            else:
-                yield IdealRelease(LOCK_ID)
-
-    programs = {c.core_id: worker(c.core_id) for c in system.cores}
-    cycles = system.run_programs(programs)
-    expected = 8 + ops_per_core * len(system.cores)
-    if len(stack) != expected:
-        raise AssertionError("stack lost pushes under the lock")
-    return cycles
 
 
 def fig2(ops_per_core: int = None) -> Dict[str, List[Dict]]:
@@ -152,10 +74,22 @@ def fig2(ops_per_core: int = None) -> Dict[str, List[Dict]]:
     Part (b): 1..4 NDP units at 60 total cores.
     """
     ops = ops_per_core if ops_per_core is not None else scaled(20)
+    part_a_steps = (15, 30, 45, 60)
+    part_b_steps = (1, 2, 3, 4)
+    specs = [
+        _stack_spec(1, cores, mech, ops)
+        for cores in part_a_steps
+        for mech in ("ideal", "mesi")
+    ] + [
+        _stack_spec(units, 60 // units, mech, ops)
+        for units in part_b_steps
+        for mech in ("ideal", "mesi")
+    ]
+    results = iter(run_sweep(SweepSpec.of("fig2", specs)))
     part_a = []
-    for cores in (15, 30, 45, 60):
-        ideal = _stack_run(1, cores, use_mesi_lock=False, ops_per_core=ops)
-        mesi = _stack_run(1, cores, use_mesi_lock=True, ops_per_core=ops)
+    for cores in part_a_steps:
+        ideal = next(results)["cycles"]
+        mesi = next(results)["cycles"]
         part_a.append({
             "ndp_cores": cores,
             "slowdown": mesi / ideal,
@@ -163,10 +97,9 @@ def fig2(ops_per_core: int = None) -> Dict[str, List[Dict]]:
             "mesi_cycles": mesi,
         })
     part_b = []
-    for units in (1, 2, 3, 4):
-        per_unit = 60 // units
-        ideal = _stack_run(units, per_unit, use_mesi_lock=False, ops_per_core=ops)
-        mesi = _stack_run(units, per_unit, use_mesi_lock=True, ops_per_core=ops)
+    for units in part_b_steps:
+        ideal = next(results)["cycles"]
+        mesi = next(results)["cycles"]
         part_b.append({
             "ndp_units": units,
             "slowdown": mesi / ideal,

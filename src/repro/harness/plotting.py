@@ -33,6 +33,14 @@ def _fmt(value: float, width: int = 0) -> str:
     return text.rjust(width) if width else text
 
 
+def _numeric(value) -> Optional[float]:
+    """Finite float, or None for anything unplottable (strings, NaN, ...)."""
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return None
+    value = float(value)
+    return value if math.isfinite(value) else None
+
+
 def bar_chart(
     items: Dict[str, float],
     title: str = "",
@@ -46,13 +54,19 @@ def bar_chart(
     """
     if not items:
         return f"{title}\n(no data)"
-    scale = max_value if max_value is not None else max(items.values())
+    numeric = {label: _numeric(value) for label, value in items.items()}
+    plottable = [v for v in numeric.values() if v is not None]
+    scale = max_value if max_value is not None else max(plottable, default=0.0)
     scale = max(scale, 1e-12)
     label_width = max(len(str(label)) for label in items)
     lines = [title] if title else []
     for label, value in items.items():
-        filled = int(round(width * min(value, scale) / scale))
-        bar = (BAR_CHAR * filled).ljust(width)
+        clean = numeric[label]
+        if clean is None:  # NaN/inf/non-numeric: empty bar, raw value shown
+            bar = " " * width
+        else:
+            filled = int(round(width * min(max(clean, 0.0), scale) / scale))
+            bar = (BAR_CHAR * filled).ljust(width)
         lines.append(f"{str(label).ljust(label_width)} |{bar}| {_fmt(value)}")
     return "\n".join(lines)
 
@@ -72,15 +86,16 @@ def grouped_bar_chart(
     if not rows:
         return f"{title}\n(no data)"
     scale = max(
-        (float(row[s]) for row in rows for s in series if s in row),
+        (v for row in rows for s in series
+         if (v := _numeric(row.get(s))) is not None),
         default=1.0,
     )
     blocks = [title] if title else []
     for row in rows:
-        blocks.append(str(row[group_key]))
+        blocks.append(str(row.get(group_key, "")))
         blocks.append(
             bar_chart(
-                {s: float(row[s]) for s in series if s in row},
+                {s: row[s] for s in series if _numeric(row.get(s)) is not None},
                 width=width,
                 max_value=scale,
             )
@@ -103,14 +118,21 @@ def line_chart(
     parameter on x, one mark per series.  ``log_x`` matches the paper's
     logarithmic interval axes.
     """
-    points = [
-        (float(row[x_key]), s, float(row[s]))
-        for row in rows
-        for s in series
-        if s in row and row[s] is not None
-    ]
+    points = []
+    for row in rows:
+        x = _numeric(row.get(x_key))
+        if x is None:
+            continue
+        for s in series:
+            y = _numeric(row.get(s))
+            if y is not None:
+                points.append((x, s, y))
     if not points:
         return f"{title}\n(no data)"
+    # a log axis needs strictly positive x values; fall back to linear
+    # rather than crash when a sweep includes 0 (e.g. interval=0).
+    if log_x and any(x <= 0 for x, _s, _y in points):
+        log_x = False
 
     def x_of(value: float) -> float:
         return math.log10(value) if log_x else value
@@ -158,7 +180,7 @@ def line_chart(
 def sparkline(values: Sequence[float]) -> str:
     """One-line trend glyph string (eight levels)."""
     glyphs = "▁▂▃▄▅▆▇█"
-    values = list(values)
+    values = [v for v in values if _numeric(v) is not None]
     if not values:
         return ""
     lo, hi = min(values), max(values)
@@ -184,21 +206,22 @@ def stacked_bar_chart(
     if not rows:
         return f"{title}\n(no data)"
     glyphs = "#=+:."
-    label_width = max(len(str(row[group_key])) for row in rows)
+    label_width = max(len(str(row.get(group_key, ""))) for row in rows)
     lines = [title] if title else []
     legend = "  ".join(
         f"{glyphs[i % len(glyphs)]}={name}" for i, name in enumerate(components)
     )
     lines.append(legend)
     for row in rows:
-        total = sum(float(row.get(c, 0.0)) for c in components)
+        shares = {c: _numeric(row.get(c, 0.0)) or 0.0 for c in components}
+        total = sum(shares.values())
+        label = str(row.get(group_key, "")).ljust(label_width)
         if total <= 0:
-            lines.append(f"{str(row[group_key]).ljust(label_width)} |{' ' * width}|")
+            lines.append(f"{label} |{' ' * width}|")
             continue
         bar = ""
         for i, component in enumerate(components):
-            share = float(row.get(component, 0.0)) / total
-            bar += glyphs[i % len(glyphs)] * int(round(share * width))
+            bar += glyphs[i % len(glyphs)] * int(round(shares[component] / total * width))
         bar = bar[:width].ljust(width)
-        lines.append(f"{str(row[group_key]).ljust(label_width)} |{bar}|")
+        lines.append(f"{label} |{bar}|")
     return "\n".join(lines)

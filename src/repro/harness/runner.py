@@ -1,0 +1,287 @@
+"""Sweep execution: parallel workers + on-disk result cache.
+
+Every harness figure and the CLI ``sweep`` subcommand funnel through
+:func:`run_sweep` / :func:`run_specs`: specs are deduplicated by cache key,
+cache hits are served from a JSONL file, and only the misses are simulated —
+serially, or across ``jobs`` worker processes.  Because every simulation is
+deterministic (explicit seeds everywhere — see
+:func:`repro.workloads.base.stable_name_seed`), parallel and serial
+execution produce bit-identical rows, and a warm-cache re-run executes zero
+simulations.
+
+The cache lives at ``$REPRO_CACHE_DIR/results.jsonl`` (default
+``.repro-cache/``).  Keys cover the full resolved
+:class:`~repro.sim.config.SystemConfig`, workload kwargs, mechanism, seed
+and scale — but NOT the simulator's code, so delete the directory (or pass
+``--no-cache``) after changing simulation behaviour; bumping
+:data:`repro.harness.specs.CACHE_FORMAT_VERSION` does the same globally.
+
+Caching defaults OFF for library calls (tests must never observe stale
+physics) and ON in the CLI.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import multiprocessing
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.harness.specs import CACHE_FORMAT_VERSION, RunSpec, SweepSpec
+from repro.workloads.base import RunMetrics, run_workload
+
+#: what a run produces: RunMetrics for workload specs, a plain dict for
+#: measurement specs.
+RunResult = Union[RunMetrics, Dict]
+
+
+# ----------------------------------------------------------------------
+# Execution options (how the CLI hands --jobs/--no-cache to figure code)
+# ----------------------------------------------------------------------
+@dataclass
+class ExecutionOptions:
+    """Active sweep-execution policy; figures read it via the module state."""
+
+    jobs: int = 1
+    cache: bool = False
+    cache_dir: Optional[str] = None
+
+    def resolved_cache_dir(self) -> Path:
+        return Path(
+            self.cache_dir
+            or os.environ.get("REPRO_CACHE_DIR", ".repro-cache")
+        )
+
+
+_OPTIONS = ExecutionOptions()
+
+
+def set_execution_options(jobs: Optional[int] = None,
+                          cache: Optional[bool] = None,
+                          cache_dir: Optional[str] = None) -> None:
+    if jobs is not None:
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        _OPTIONS.jobs = jobs
+    if cache is not None:
+        _OPTIONS.cache = cache
+    if cache_dir is not None:
+        _OPTIONS.cache_dir = cache_dir
+
+
+def get_execution_options() -> ExecutionOptions:
+    return _OPTIONS
+
+
+@contextlib.contextmanager
+def execution_options(jobs: Optional[int] = None, cache: Optional[bool] = None,
+                      cache_dir: Optional[str] = None):
+    """Temporarily override the active execution policy."""
+    previous = ExecutionOptions(_OPTIONS.jobs, _OPTIONS.cache, _OPTIONS.cache_dir)
+    try:
+        set_execution_options(jobs=jobs, cache=cache, cache_dir=cache_dir)
+        yield _OPTIONS
+    finally:
+        _OPTIONS.jobs = previous.jobs
+        _OPTIONS.cache = previous.cache
+        _OPTIONS.cache_dir = previous.cache_dir
+
+
+# ----------------------------------------------------------------------
+# Stats (lets the CLI and tests observe hit/miss behaviour)
+# ----------------------------------------------------------------------
+@dataclass
+class RunnerStats:
+    """Counters accumulated across run_specs calls (reset explicitly)."""
+
+    requested: int = 0
+    executed: int = 0
+    cache_hits: int = 0
+    deduplicated: int = 0
+    sweeps: List[str] = field(default_factory=list)
+
+    def reset(self) -> None:
+        self.requested = 0
+        self.executed = 0
+        self.cache_hits = 0
+        self.deduplicated = 0
+        self.sweeps.clear()
+
+    def summary(self) -> str:
+        text = (
+            f"{self.requested} runs: {self.executed} simulated, "
+            f"{self.cache_hits} served from cache"
+        )
+        if self.deduplicated:
+            text += f", {self.deduplicated} deduplicated"
+        return text
+
+
+STATS = RunnerStats()
+
+
+# ----------------------------------------------------------------------
+# Result cache (append-only JSONL keyed by spec hash)
+# ----------------------------------------------------------------------
+class ResultCache:
+    """One JSONL line per completed run; malformed lines are skipped."""
+
+    FILENAME = "results.jsonl"
+
+    def __init__(self, directory: Union[str, Path]):
+        self.directory = Path(directory)
+        self.path = self.directory / self.FILENAME
+        self._records: Dict[str, Dict] = {}
+        self._load()
+
+    def _load(self) -> None:
+        if not self.path.exists():
+            return
+        with open(self.path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # corrupted line -> recompute, never crash
+                if (
+                    not isinstance(record, dict)
+                    or record.get("version") != CACHE_FORMAT_VERSION
+                    or "key" not in record
+                    or record.get("kind") not in ("metrics", "row")
+                    or not isinstance(record.get("result"), dict)
+                ):
+                    continue
+                self._records[record["key"]] = record
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def get(self, key: str) -> Optional[Dict]:
+        return self._records.get(key)
+
+    def put(self, key: str, record: Dict) -> None:
+        record = {"version": CACHE_FORMAT_VERSION, "key": key, **record}
+        self._records[key] = record
+        self.directory.mkdir(parents=True, exist_ok=True)
+        with open(self.path, "a", encoding="utf-8") as fh:
+            fh.write(json.dumps(record, sort_keys=True) + "\n")
+
+
+# ----------------------------------------------------------------------
+# Single-spec execution (must be a top-level function: workers pickle
+# only the RunSpec, which is plain data)
+# ----------------------------------------------------------------------
+@contextlib.contextmanager
+def _scale_env(scale: str):
+    """Pin REPRO_SCALE to the spec's captured scale for the whole run."""
+    previous = os.environ.get("REPRO_SCALE")
+    os.environ["REPRO_SCALE"] = scale
+    try:
+        yield
+    finally:
+        if previous is None:
+            os.environ.pop("REPRO_SCALE", None)
+        else:
+            os.environ["REPRO_SCALE"] = previous
+
+
+def execute_spec(spec: RunSpec) -> Dict:
+    """Run one spec and return its cache record body (kind + result)."""
+    with _scale_env(spec.scale):
+        config = spec.config()
+        if spec.is_measurement():
+            row = spec.measurement_fn()(config, spec.mechanism, **spec.args_dict())
+            return {"kind": "row", "result": dict(row),
+                    "spec": spec.describe()}
+        metrics = run_workload(spec.build_workload, config, spec.mechanism)
+        return {"kind": "metrics", "result": metrics.as_dict(),
+                "spec": spec.describe()}
+
+
+def _record_to_result(record: Dict) -> RunResult:
+    if record["kind"] == "metrics":
+        return RunMetrics.from_dict(record["result"])
+    return dict(record["result"])
+
+
+# ----------------------------------------------------------------------
+# Sweep execution
+# ----------------------------------------------------------------------
+def _pool_context():
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+def run_specs(specs: Sequence[RunSpec], jobs: Optional[int] = None,
+              cache: Optional[bool] = None,
+              cache_dir: Optional[str] = None) -> List[RunResult]:
+    """Execute specs (deduplicated) and return results in spec order.
+
+    ``jobs``/``cache`` default to the active :class:`ExecutionOptions`
+    (library default: serial, no cache).
+    """
+    options = get_execution_options()
+    jobs = options.jobs if jobs is None else jobs
+    use_cache = options.cache if cache is None else cache
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1")
+
+    keys = [spec.cache_key() for spec in specs]
+    store = ResultCache(cache_dir or options.resolved_cache_dir()) if use_cache else None
+
+    # Deduplicate: identical specs simulate once per sweep.  Hits are
+    # materialized eagerly; a record that no longer matches the current
+    # RunMetrics schema (stale cache after a code change without a
+    # CACHE_FORMAT_VERSION bump) falls back to re-simulation.
+    results_by_key: Dict[str, RunResult] = {}
+    pending: List[RunSpec] = []
+    pending_keys: List[str] = []
+    seen = set()
+    for spec, key in zip(specs, keys):
+        if key in seen:
+            STATS.deduplicated += 1
+            continue
+        seen.add(key)
+        cached = store.get(key) if store is not None else None
+        if cached is not None:
+            try:
+                results_by_key[key] = _record_to_result(cached)
+            except (TypeError, KeyError, ValueError):
+                cached = None
+            else:
+                STATS.cache_hits += 1
+        if cached is None:
+            pending.append(spec)
+            pending_keys.append(key)
+
+    if len(pending) > 1 and jobs > 1:
+        with _pool_context().Pool(min(jobs, len(pending))) as pool:
+            # chunksize=1: simulation times are heavily skewed (a ts combo
+            # can cost 50x a tc one), so batching chunks onto one worker
+            # serializes the tail.
+            bodies = pool.map(execute_spec, pending, chunksize=1)
+    else:
+        bodies = [execute_spec(spec) for spec in pending]
+
+    for key, body in zip(pending_keys, bodies):
+        results_by_key[key] = _record_to_result(body)
+        STATS.executed += 1
+        if store is not None:
+            store.put(key, body)
+
+    STATS.requested += len(specs)
+    return [results_by_key[key] for key in keys]
+
+
+def run_sweep(sweep: SweepSpec, jobs: Optional[int] = None,
+              cache: Optional[bool] = None,
+              cache_dir: Optional[str] = None) -> List[RunResult]:
+    """Execute a named sweep; results align with ``sweep.runs`` order."""
+    STATS.sweeps.append(sweep.name)
+    return run_specs(sweep.runs, jobs=jobs, cache=cache, cache_dir=cache_dir)

@@ -15,8 +15,10 @@ Presets:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Dict
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field, fields, replace
+from typing import Callable, Dict
 
 from repro.sim.clock import core_cycles_from_ns
 
@@ -186,6 +188,37 @@ class SystemConfig:
         """Functional update, e.g. ``cfg.with_(num_units=2)``."""
         return replace(self, **changes)
 
+    # ------------------------------------------------------------------
+    # Stable serialization (the sweep runner's cache key depends on it)
+    # ------------------------------------------------------------------
+    def as_dict(self) -> Dict:
+        """Plain-data dict of every field, nested dataclasses included.
+
+        The output is JSON-serializable and covers *all* configuration
+        state, so two configs with any differing field (including nested
+        ``memory``/``energy`` parameters) serialize differently.
+        """
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "SystemConfig":
+        """Inverse of :meth:`as_dict`."""
+        payload = dict(data)
+        if isinstance(payload.get("memory"), dict):
+            payload["memory"] = DramTiming(**payload["memory"])
+        if isinstance(payload.get("energy"), dict):
+            payload["energy"] = EnergyParams(**payload["energy"])
+        known = {f.name for f in fields(cls)}
+        unknown = set(payload) - known
+        if unknown:
+            raise ValueError(f"unknown SystemConfig fields: {sorted(unknown)}")
+        return cls(**payload)
+
+    def stable_hash(self) -> str:
+        """Hex digest stable across processes and interpreter launches."""
+        canonical = json.dumps(self.as_dict(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
     def validate(self) -> None:
         if self.num_units < 1:
             raise ValueError("need at least one NDP unit")
@@ -241,3 +274,13 @@ def cpu_numa(**overrides) -> SystemConfig:
         link_bandwidth_gbps=38.4,
     )
     return cfg.with_(**overrides) if overrides else cfg
+
+
+#: named base configurations a :class:`~repro.harness.specs.RunSpec` can
+#: reference by string (keeps specs picklable and hash-stable).
+PRESETS: Dict[str, Callable[..., SystemConfig]] = {
+    "ndp_2_5d": ndp_2_5d,
+    "ndp_3d": ndp_3d,
+    "ndp_2d": ndp_2d,
+    "cpu_numa": cpu_numa,
+}

@@ -15,6 +15,7 @@ variable — ``small`` (default; minutes for the whole suite), ``medium``, or
 from __future__ import annotations
 
 import os
+import zlib
 from dataclasses import dataclass
 from typing import Dict, Optional
 
@@ -25,6 +26,18 @@ from repro.sim.system import NDPSystem
 
 SCALES = ("small", "medium", "full")
 _SCALE_FACTORS = {"small": 1, "medium": 3, "full": 10}
+
+
+def stable_name_seed(name: str) -> int:
+    """Deterministic seed for a named input (dataset, series, ...).
+
+    Python's builtin ``hash(str)`` is randomized per interpreter launch
+    (PYTHONHASHSEED), which would make generated inputs differ between
+    worker processes — fatal for the parallel sweep runner's
+    serial-vs-parallel bit-identity and for result caching across runs.
+    CRC32 is stable everywhere.
+    """
+    return zlib.crc32(name.encode("utf-8")) % (2 ** 31)
 
 
 def scale() -> str:
@@ -80,6 +93,34 @@ class RunMetrics:
         if self.cycles == 0:
             return float("inf")
         return other.cycles / self.cycles
+
+    # ------------------------------------------------------------------
+    # JSON round-trip (the sweep runner's on-disk result cache)
+    # ------------------------------------------------------------------
+    def as_dict(self) -> Dict:
+        return {
+            "mechanism": self.mechanism,
+            "cycles": self.cycles,
+            "operations": self.operations,
+            "energy": {
+                "cache_pj": self.energy.cache_pj,
+                "network_pj": self.energy.network_pj,
+                "memory_pj": self.energy.memory_pj,
+            },
+            "bytes_inside_units": self.bytes_inside_units,
+            "bytes_across_units": self.bytes_across_units,
+            "sync_requests": self.sync_requests,
+            "overflow_request_pct": self.overflow_request_pct,
+            "st_occupancy_max_pct": self.st_occupancy_max_pct,
+            "st_occupancy_avg_pct": self.st_occupancy_avg_pct,
+            "stats": dict(self.stats),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "RunMetrics":
+        payload = dict(data)
+        payload["energy"] = EnergyBreakdown(**payload["energy"])
+        return cls(**payload)
 
 
 def collect_metrics(system: NDPSystem, cycles: int, operations: int) -> RunMetrics:

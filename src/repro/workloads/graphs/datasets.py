@@ -20,7 +20,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
-from repro.workloads.base import scaled
+from repro.workloads.base import scaled, stable_name_seed
 
 
 @dataclass
@@ -105,4 +105,4 @@ def load_dataset(name: str) -> Graph:
     except KeyError:
         raise ValueError(f"unknown dataset {name!r}; choose from {DATASETS}")
     n = scaled(base_n)
-    return barabasi_albert(n, m, seed=hash(name) % (2 ** 31), name=name)
+    return barabasi_albert(n, m, seed=stable_name_seed(name), name=name)

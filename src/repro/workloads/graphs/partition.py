@@ -85,6 +85,26 @@ def bfs_partition(graph: Graph, num_parts: int, seed: int = 0,
     return assignment
 
 
+#: partitioners addressable by name, all with a ``(graph, parts, seed)``
+#: signature — what lets a sweep spec reference a placement policy as a
+#: plain (picklable, hashable) string instead of a closure.
+PARTITIONERS = {
+    "random": random_partition,
+    "metis": bfs_partition,  # the paper's METIS run; bfs_partition stands in
+    "bfs": bfs_partition,
+}
+
+
+def get_partitioner(name: str):
+    """Look up a named partitioner (see :data:`PARTITIONERS`)."""
+    try:
+        return PARTITIONERS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown partitioner {name!r}; choose from {sorted(PARTITIONERS)}"
+        )
+
+
 def edge_cut(graph: Graph, assignment: List[int]) -> int:
     """Number of edges whose endpoints land in different parts."""
     if len(assignment) != graph.num_vertices:

@@ -21,14 +21,14 @@ Kernels subclass :class:`GraphKernelWorkload` and implement
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Union
 
 from repro.core import api
 from repro.sim.program import Batch, Compute, Load
 from repro.sim.system import NDPSystem
 from repro.workloads.base import Workload
 from repro.workloads.graphs.datasets import Graph, load_dataset
-from repro.workloads.graphs.partition import random_partition
+from repro.workloads.graphs.partition import get_partitioner, random_partition
 
 
 class GraphKernelWorkload(Workload):
@@ -41,9 +41,15 @@ class GraphKernelWorkload(Workload):
     uses_barriers = True
 
     def __init__(self, dataset: str = "wk", graph: Optional[Graph] = None,
-                 partitioner: Optional[Callable] = None, seed: int = 7):
+                 partitioner: Optional[Union[Callable, str]] = None,
+                 seed: int = 7):
         self.dataset = dataset
         self.graph = graph
+        # a string names a registered partitioner (sweep specs can't carry
+        # closures); the seed binds here so placement is reproducible.
+        if isinstance(partitioner, str):
+            fn = get_partitioner(partitioner)
+            partitioner = lambda g, parts: fn(g, parts, seed=seed)
         self.partitioner = partitioner or (
             lambda g, parts: random_partition(g, parts, seed=seed)
         )

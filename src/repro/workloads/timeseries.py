@@ -25,7 +25,7 @@ from typing import Dict, List
 from repro.core import api
 from repro.sim.program import Batch, Compute, Load, Store
 from repro.sim.system import NDPSystem
-from repro.workloads.base import Workload, scaled
+from repro.workloads.base import Workload, scaled, stable_name_seed
 
 DATASETS = ("air", "pow")
 
@@ -37,7 +37,9 @@ def generate_series(name: str, length: int, seed: int = 0) -> List[float]:
     load-step signal + noise — loosely matching the character of the
     paper's air-quality and power-consumption inputs.
     """
-    rng = random.Random(seed or hash(name) % (2 ** 31))
+    # hash(str) is per-process randomized; a crc-derived fallback keeps the
+    # series identical across worker processes and interpreter launches.
+    rng = random.Random(seed or stable_name_seed(name))
     series = []
     for i in range(length):
         if name == "air":

@@ -14,16 +14,22 @@ from repro.testing import ALL_MECHANISMS, SPIN_MECHANISMS, build_system  # noqa:
 
 
 @pytest.fixture(scope="session", autouse=True)
-def _force_small_scale():
+def _force_small_scale(tmp_path_factory):
     """Tests always run at the smallest experiment scale, regardless of the
     ``REPRO_SCALE`` a developer exports for benchmarks.
 
     Scoped with a MonkeyPatch context instead of an import-time
     ``os.environ`` write so the setting never leaks out of the test
     session into the invoking shell process.
+
+    ``REPRO_CACHE_DIR`` is routed into a temp directory so any test that
+    exercises the sweep runner's cache (directly or through the CLI) never
+    writes into the repository or reads a developer's warm cache.
     """
     with pytest.MonkeyPatch.context() as mp:
         mp.setenv("REPRO_SCALE", "small")
+        mp.setenv("REPRO_CACHE_DIR",
+                  str(tmp_path_factory.mktemp("repro-cache")))
         yield
 
 

@@ -148,6 +148,63 @@ class TestStackedBars:
         assert "==network" in chart
 
 
+class TestDegenerateSeries:
+    """Empty/single-point/non-numeric series must render, never raise —
+    a sweep filtered down to one cell hits all of these."""
+
+    def test_single_point_line_chart(self):
+        chart = line_chart([{"x": 5, "a": 1.0}], "x", ("a",), title="one")
+        assert "o" in chart and "(no data)" not in chart
+
+    def test_single_point_log_axis(self):
+        chart = line_chart([{"x": 100, "a": 2.0}], "x", ("a",), log_x=True)
+        assert "o" in chart
+
+    def test_log_axis_with_zero_x_falls_back_to_linear(self):
+        rows = [{"x": 0, "a": 1.0}, {"x": 10, "a": 2.0}]
+        chart = line_chart(rows, "x", ("a",), log_x=True)
+        assert "o" in chart
+
+    def test_non_numeric_x_values_are_skipped(self):
+        rows = [{"x": "bfs.wk", "a": 1.0}, {"x": 2, "a": 2.0}]
+        chart = line_chart(rows, "x", ("a",))
+        assert "o" in chart
+        assert "(no data)" in line_chart([{"x": "bfs.wk", "a": 1.0}], "x", ("a",))
+
+    def test_rows_missing_the_x_key_are_skipped(self):
+        assert "(no data)" in line_chart([{"a": 1.0}], "x", ("a",))
+
+    def test_bar_chart_with_nan_and_inf_values(self):
+        chart = bar_chart({"a": float("nan"), "b": float("inf"), "c": 2.0})
+        lines = chart.splitlines()
+        assert len(lines) == 3
+        assert lines[2].count(BAR_CHAR) > 0  # the finite bar still renders
+
+    def test_bar_chart_all_zero_values(self):
+        chart = bar_chart({"a": 0.0, "b": 0.0})
+        assert "(no data)" not in chart
+
+    def test_single_bar(self):
+        assert bar_chart({"only": 3.0}).count(BAR_CHAR) == 40
+
+    def test_sparkline_drops_non_finite(self):
+        assert len(sparkline([float("nan"), 1.0, 2.0])) == 2
+
+    def test_grouped_bars_tolerate_non_numeric_cells(self):
+        rows = [{"g": "x", "a": "oops", "b": 1.0}]
+        chart = grouped_bar_chart(rows, "g", ("a", "b"))
+        assert "b" in chart
+
+    def test_stacked_bars_tolerate_non_finite_components(self):
+        rows = [{"g": "x", "a": float("inf"), "b": 1.0}]
+        chart = stacked_bar_chart(rows, "g", ("a", "b"), width=8)
+        assert chart.splitlines()[-1].count("=") == 8
+
+    def test_single_row_grouped_bars(self):
+        chart = grouped_bar_chart([{"g": "x", "a": 1.0}], "g", ("a",))
+        assert BAR_CHAR in chart
+
+
 class TestGroupedBars:
     def test_shared_scale_across_groups(self):
         rows = [
