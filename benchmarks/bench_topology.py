@@ -1,0 +1,120 @@
+"""Interconnect-topology benchmark: routed-fabric cost and overhead.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_topology.py [--output BENCH_topology.json]
+
+Two angles on the new :mod:`repro.sim.topo` subsystem:
+
+1. **Simulated cost** — the ``topo_sensitivity`` table (lock microbenchmark,
+   every fabric, 4 and 16 units): per-fabric slowdown vs the ideal
+   all-to-all interconnect, plus each fabric's mean hop count and diameter.
+   Asserts the physics before reporting: no routed fabric may beat
+   all-to-all at 16 units.
+2. **Host overhead** — raw ``remote_latency`` calls/second per fabric on a
+   16-unit system.  The routed path replaced the seed's direct per-pair
+   link lookup, so this guards the interconnect hot path against
+   regressions (all-to-all routes are 1 link; mesh routes average ~2.7).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.harness.experiments import ALL_TOPOLOGIES, topo_sensitivity  # noqa: E402
+from repro.sim.config import ndp_2_5d  # noqa: E402
+from repro.sim.network import Interconnect  # noqa: E402
+from repro.sim.stats import SystemStats  # noqa: E402
+from repro.sim.topo import build_topology  # noqa: E402
+
+UNIT_STEPS = (4, 16)
+MECHANISMS = ("hier", "syncron")
+
+
+def bench_remote_latency(topology: str, calls: int = 100_000) -> float:
+    """remote_latency calls/second over a fixed 16-unit traffic pattern."""
+    config = ndp_2_5d(num_units=16, topology=topology)
+    inter = Interconnect(config, SystemStats())
+    pairs = [(src, (src + stride) % 16)
+             for stride in (1, 3, 7) for src in range(16)]
+    start = time.perf_counter()
+    now = 0
+    for i in range(calls):
+        src, dst = pairs[i % len(pairs)]
+        inter.remote_latency(src, dst, now, 64)
+        now += 40
+    elapsed = time.perf_counter() - start
+    return calls / elapsed
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--output", default=None,
+                        help="write results as JSON to this path")
+    parser.add_argument("--calls", type=int, default=100_000,
+                        help="remote_latency calls per fabric (default 100k)")
+    args = parser.parse_args(argv)
+
+    wall_start = time.perf_counter()
+    rows = topo_sensitivity(topologies=ALL_TOPOLOGIES, unit_steps=UNIT_STEPS,
+                            mechanisms=MECHANISMS)
+    sweep_seconds = time.perf_counter() - wall_start
+
+    by_key = {(r["units"], r["topology"]): r for r in rows}
+    for topology in ("ring", "mesh2d", "torus2d"):
+        for mech in MECHANISMS:
+            slowdown = by_key[(16, topology)][mech]
+            if slowdown < 1.0:
+                raise AssertionError(
+                    f"{topology} beat all_to_all at 16 units ({mech}: "
+                    f"{slowdown:.3f}x) — routed contention model is broken"
+                )
+
+    results = {
+        "benchmark": "interconnect_topology",
+        "scenario": {
+            "workload": "primitive lock microbenchmark",
+            "unit_steps": list(UNIT_STEPS),
+            "mechanisms": list(MECHANISMS),
+        },
+        "sweep_seconds": round(sweep_seconds, 3),
+        "fabrics": {},
+    }
+    for topology in ALL_TOPOLOGIES:
+        topo16 = build_topology(ndp_2_5d(num_units=16, topology=topology))
+        calls_per_sec = bench_remote_latency(topology, calls=args.calls)
+        fabric = {
+            "mean_hops_16u": round(topo16.mean_hops(), 3),
+            "diameter_16u": topo16.diameter(),
+            "remote_latency_calls_per_sec": round(calls_per_sec),
+            "slowdown_vs_all_to_all": {
+                f"{units}u": {
+                    mech: round(by_key[(units, topology)][mech], 3)
+                    for mech in MECHANISMS
+                }
+                for units in UNIT_STEPS
+            },
+        }
+        results["fabrics"][topology] = fabric
+        slow16 = fabric["slowdown_vs_all_to_all"]["16u"]
+        print(f"{topology:10s} mean_hops={fabric['mean_hops_16u']:<5} "
+              f"16u slowdown: hier {slow16['hier']:.3f}x / "
+              f"syncron {slow16['syncron']:.3f}x, "
+              f"{fabric['remote_latency_calls_per_sec']:,} routed calls/s")
+
+    if args.output:
+        Path(args.output).write_text(json.dumps(results, indent=2) + "\n")
+        print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

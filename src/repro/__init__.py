@@ -42,6 +42,7 @@ from repro.sim import (
     ndp_2_5d,
     ndp_2d,
     ndp_3d,
+    ndp_mesh,
 )
 
 __version__ = "1.0.0"
@@ -54,5 +55,6 @@ __all__ = [
     "ndp_2_5d",
     "ndp_2d",
     "ndp_3d",
+    "ndp_mesh",
     "__version__",
 ]

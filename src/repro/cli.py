@@ -11,6 +11,9 @@
     python -m repro run ext_rwlock --plot    # extension experiments
     python -m repro sweep --mechanisms syncron,hier --apps bfs.wk,cc.sl \
         --vary link_latency=1,4,16           # ad-hoc scenario matrices
+    python -m repro run topo_sensitivity     # routed-fabric sensitivity
+    python -m repro sweep --structures stack --mechanisms syncron \
+        --vary topology=all_to_all,ring,mesh2d,torus2d --dry-run
     python -m repro quickstart               # the README example
 
 Each ``run`` target calls the corresponding function in
@@ -33,7 +36,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.harness import ablations, experiments, motivation
 from repro.harness.plotting import bar_chart, line_chart
 from repro.harness.reporting import format_table
-from repro.harness.runner import STATS, execution_options, run_sweep
+from repro.harness.runner import STATS, execution_options, probe_specs, run_sweep
 from repro.harness.specs import SweepSpec, expand_matrix, validate_names
 
 #: experiment name -> (callable, description).
@@ -71,6 +74,9 @@ EXPERIMENTS: Dict[str, tuple] = {
                 "hardware thread contexts per core (Sec. 4 SMT note)"),
     "ext_unionfind": (ablations.unionfind_connectivity,
                       "rw-lock union-find connectivity vs mutex"),
+    "topo_sensitivity": (experiments.topo_sensitivity,
+                         "interconnect fabric slowdown (mechanism x "
+                         "topology x unit count)"),
 }
 
 #: experiment name -> how to draw it (chart kind, x/group key, series).
@@ -91,6 +97,7 @@ _PLOTS: Dict[str, tuple] = {
     "ext_se_knee": ("line", "se_service_cycles",
                     ("syncron_ops_ms", "hier_ops_ms"), False),
     "ext_smt": ("line", "threads_per_core", ("syncron", "ideal"), False),
+    "topo_sensitivity": ("bars", "label", _MECHS, False),
 }
 
 
@@ -119,6 +126,7 @@ _POSITIONAL = {"fig10": "primitive", "fig11": "structure"}
 _SEQUENCE_PARAMS = frozenset({
     "combos", "core_steps", "st_sizes", "latencies_ns", "intervals",
     "datasets", "structures", "unit_steps", "core_counts", "mechanisms",
+    "topologies",
 })
 
 
@@ -239,6 +247,24 @@ def cmd_sweep(args) -> int:
         print(f"sweep: {exc}", file=sys.stderr)
         return 2
 
+    if args.dry_run:
+        with execution_options(cache=not args.no_cache,
+                               cache_dir=args.cache_dir):
+            statuses = probe_specs([spec for _label, spec in labeled])
+        rows = [
+            {"run": spec.describe(), "status": status}
+            for (_label, spec), status in zip(labeled, statuses)
+        ]
+        print(format_table(rows, title="sweep (dry run)"))
+        print(
+            f"[dry-run] {len(labeled)} runs: "
+            f"{statuses.count('cached')} cached, "
+            f"{statuses.count('simulate')} to simulate, "
+            f"{statuses.count('duplicate')} deduplicated",
+            file=sys.stderr,
+        )
+        return 0
+
     STATS.reset()
     with execution_options(jobs=args.jobs, cache=not args.no_cache,
                            cache_dir=args.cache_dir):
@@ -340,6 +366,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="base SystemConfig preset (default ndp_2_5d)")
     sweep.add_argument("--seed", type=int, default=None,
                        help="workload seed forwarded to seedable workloads")
+    sweep.add_argument("--dry-run", action="store_true",
+                       help="print the resolved run matrix and cache "
+                            "hit/miss counts without simulating anything")
     add_runner_flags(sweep)
 
     sub.add_parser("quickstart", help="run the README quickstart")

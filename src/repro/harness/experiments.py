@@ -446,6 +446,69 @@ def fig23(st_sizes: Sequence[int] = (16, 32, 48, 64, 128, 256)) -> List[Dict]:
 
 
 # ======================================================================
+# Topology sensitivity — mechanism x fabric x unit count (extension)
+# ======================================================================
+#: every fabric the topology subsystem provides (repro.sim.topo).
+ALL_TOPOLOGIES = ("all_to_all", "ring", "mesh2d", "torus2d")
+
+
+def topo_sensitivity(topologies: Sequence[str] = ALL_TOPOLOGIES,
+                     unit_steps: Sequence[int] = (4, 16),
+                     mechanisms: Sequence[str] = ("hier", "syncron"),
+                     interval: int = 200,
+                     rounds: Optional[int] = None) -> List[Dict]:
+    """Slowdown of each fabric vs the ideal all-to-all interconnect.
+
+    The paper evaluates on an implicit all-to-all fabric (a dedicated
+    channel per unit pair); this extension re-runs a cross-unit-heavy
+    lock microbenchmark on routed ring/mesh/torus fabrics at growing unit
+    counts, where multi-hop distance and shared-channel contention are
+    real.  Units are slimmed to 3 clients each so the 16-unit points stay
+    tractable; the traffic pattern (every unit hammering unit 0's master
+    SE) is the worst case for route sharing.
+
+    Rows: one per (units, topology); per mechanism, ``<mech>`` is the
+    slowdown relative to all-to-all at the same unit count (1.0 for
+    all-to-all itself) and ``<mech>_cycles`` the raw makespan.
+    """
+    if "all_to_all" not in topologies:  # the normalization baseline
+        topologies = ("all_to_all", *topologies)
+    rounds = rounds if rounds is not None else scaled(8)
+    sweep = SweepSpec.matrix(
+        "topo_sensitivity",
+        workloads=[("primitive", {"primitive": "lock", "interval": interval,
+                                  "rounds": rounds})],
+        mechanisms=tuple(mechanisms),
+        vary={"num_units": tuple(int(u) for u in unit_steps),
+              "topology": tuple(topologies)},
+        base_overrides={"cores_per_unit": 4, "client_cores_per_unit": 3},
+    )
+    results = iter(run_sweep(sweep))
+    # matrix order: vary combos (num_units outer, topology inner), then
+    # mechanisms innermost.
+    cycles: Dict[tuple, int] = {}
+    for units in unit_steps:
+        for topo in topologies:
+            for mech in mechanisms:
+                cycles[(units, topo, mech)] = next(results).cycles
+    rows = []
+    for units in unit_steps:
+        for topo in topologies:
+            row: Dict[str, object] = {
+                "units": units,
+                "topology": topo,
+                "label": f"{topo}@{units}u",
+            }
+            for mech in mechanisms:
+                makespan = cycles[(units, topo, mech)]
+                baseline = cycles[(units, "all_to_all", mech)]
+                row[mech] = makespan / baseline if baseline else float("inf")
+                row[f"{mech}_cycles"] = makespan
+            rows.append(row)
+    return rows
+
+
+# ======================================================================
 # Table 7 — ST occupancy across real applications
 # ======================================================================
 def table7(combos: Sequence[str] = tuple(APP_INPUTS)) -> List[Dict]:

@@ -279,6 +279,37 @@ def run_specs(specs: Sequence[RunSpec], jobs: Optional[int] = None,
     return [results_by_key[key] for key in keys]
 
 
+def probe_specs(specs: Sequence[RunSpec], cache: Optional[bool] = None,
+                cache_dir: Optional[str] = None) -> List[str]:
+    """Classify each spec against the cache WITHOUT executing anything.
+
+    Returns one status per spec, in order: ``"cached"`` (a valid result is
+    already on disk), ``"simulate"`` (a cold run would execute it), or
+    ``"duplicate"`` (an earlier spec in the sequence shares its cache key).
+    This is the ``sweep --dry-run`` backend; with caching disabled every
+    non-duplicate spec reports ``"simulate"``.
+    """
+    options = get_execution_options()
+    use_cache = options.cache if cache is None else cache
+    store = ResultCache(cache_dir or options.resolved_cache_dir()) if use_cache else None
+    statuses = []
+    seen = set()
+    for spec in specs:
+        key = spec.cache_key()
+        if key in seen:
+            statuses.append("duplicate")
+            continue
+        seen.add(key)
+        cached = store.get(key) if store is not None else None
+        if cached is not None:
+            try:
+                _record_to_result(cached)
+            except (TypeError, KeyError, ValueError):
+                cached = None  # stale schema -> a real run would re-simulate
+        statuses.append("cached" if cached is not None else "simulate")
+    return statuses
+
+
 def run_sweep(sweep: SweepSpec, jobs: Optional[int] = None,
               cache: Optional[bool] = None,
               cache_dir: Optional[str] = None) -> List[RunResult]:

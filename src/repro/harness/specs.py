@@ -51,6 +51,7 @@ CACHE_FORMAT_VERSION = 1
 CONFIG_ALIASES = {
     "link_latency": "link_latency_ns",
     "st": "st_entries",
+    "topo": "topology",
     "units": "num_units",
 }
 

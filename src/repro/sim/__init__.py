@@ -19,6 +19,7 @@ from repro.sim.config import (
     ndp_2_5d,
     ndp_2d,
     ndp_3d,
+    ndp_mesh,
 )
 from repro.sim.energy import EnergyBreakdown, compute_energy
 from repro.sim.engine import Simulator, SimulationError
@@ -68,4 +69,5 @@ __all__ = [
     "ndp_2_5d",
     "ndp_2d",
     "ndp_3d",
+    "ndp_mesh",
 ]

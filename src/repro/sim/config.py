@@ -126,6 +126,15 @@ class SystemConfig:
     # --- inter-unit links ----------------------------------------------
     link_latency_ns: float = 40.0
     link_bandwidth_gbps: float = 12.8  # GB/s per direction (Table 5)
+    #: physical fabric between NDP units (see :mod:`repro.sim.topo`):
+    #: ``"all_to_all"`` (a dedicated channel per ordered unit pair — the
+    #: paper's implicit ideal fabric and the default), ``"ring"``,
+    #: ``"mesh2d"``, or ``"torus2d"``.  Non-default fabrics route packets
+    #: over shared multi-hop channels, so contention and distance emerge.
+    topology: str = "all_to_all"
+    #: grid rows for ``mesh2d``/``torus2d``; 0 picks the squarest
+    #: factorization of ``num_units`` (16 -> 4x4, 12 -> 3x4).
+    topo_rows: int = 0
 
     # --- Synchronization Engine ------------------------------------------
     st_entries: int = 64
@@ -220,8 +229,18 @@ class SystemConfig:
         return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
     def validate(self) -> None:
+        # imported here: repro.sim.topo has no module-level config import,
+        # but keeping this lazy makes the layering obvious and cycle-proof.
+        from repro.sim.topo import build_topology, mesh_shape
+
         if self.num_units < 1:
             raise ValueError("need at least one NDP unit")
+        # raises for unknown topology names (and, for grid fabrics, shapes
+        # that don't fit num_units).
+        build_topology(self)
+        # rows must stay coherent even when the active fabric ignores them
+        # (they are part of the config hash / cache key).
+        mesh_shape(self.num_units, self.topo_rows)
         if not 0 < self.client_cores_per_unit <= self.cores_per_unit:
             raise ValueError("client cores must be in (0, cores_per_unit]")
         if self.threads_per_core < 1:
@@ -256,6 +275,17 @@ def ndp_2d(**overrides) -> SystemConfig:
     return SystemConfig(memory=DDR4).with_(**overrides)
 
 
+def ndp_mesh(**overrides) -> SystemConfig:
+    """16-unit HBM NDP with a 4x4 mesh fabric (topology-subsystem showcase).
+
+    Same per-unit parameters as :func:`ndp_2_5d`, but the inter-unit
+    traffic crosses a routed mesh instead of dedicated pairwise channels,
+    so cross-unit latency depends on placement and load.
+    """
+    cfg = SystemConfig(memory=HBM, num_units=16, topology="mesh2d")
+    return cfg.with_(**overrides) if overrides else cfg
+
+
 def cpu_numa(**overrides) -> SystemConfig:
     """Two-socket CPU stand-in used for the Table 1 substitution.
 
@@ -282,5 +312,6 @@ PRESETS: Dict[str, Callable[..., SystemConfig]] = {
     "ndp_2_5d": ndp_2_5d,
     "ndp_3d": ndp_3d,
     "ndp_2d": ndp_2d,
+    "ndp_mesh": ndp_mesh,
     "cpu_numa": cpu_numa,
 }

@@ -44,10 +44,13 @@ def compute_energy(stats: SystemStats, config: SystemConfig) -> EnergyBreakdown:
     e = config.energy
     cache_pj = stats.cache_hits * e.cache_hit_pj + stats.cache_misses * e.cache_miss_pj
 
-    # Local NoC energy is per bit per hop; inter-unit link energy per bit.
+    # Local NoC energy is per bit per hop; inter-unit link energy per bit
+    # *per physical link traversed* — on the all-to-all fabric link_bit_hops
+    # equals bytes_across_units * 8, so this reduces to the old per-byte
+    # charge; routed fabrics (ring/mesh/torus) pay every hop.
     network_pj = (
         stats.local_bit_hops * e.local_network_pj_per_bit_hop
-        + stats.bytes_across_units * 8 * e.link_pj_per_bit
+        + stats.link_bit_hops * e.link_pj_per_bit
     )
 
     line_bits = config.cache_line_bytes * 8

@@ -1,4 +1,4 @@
-"""Interconnect models: per-unit crossbar and inter-unit serial links.
+"""Interconnect models: per-unit crossbar and a routed inter-unit fabric.
 
 Per Table 5 the paper models (i) a buffered crossbar inside each NDP unit
 with a 1-cycle arbiter, 1-cycle hops and an **M/D/1** queueing model for
@@ -9,21 +9,32 @@ We reproduce both:
 
 - :class:`Crossbar` charges arbitration + hop latency plus an analytic M/D/1
   waiting time driven by a windowed estimate of the injected load.
-- :class:`Link` is a reserved resource per ordered unit pair: propagation
-  latency plus serialization at the configured bandwidth, with queueing
-  emerging from the reservation (``next_free``) time.
+- :class:`Link` is one reserved physical channel: propagation latency plus
+  serialization at the configured bandwidth, with queueing emerging from
+  the reservation (``next_free``) time.
 
-Both record traffic into :class:`~repro.sim.stats.SystemStats` so the energy
-model and the Fig. 15 data-movement results need no extra hooks.
+Which physical channels exist — and which of them a ``src -> dst`` transfer
+crosses — is decided by the pluggable :mod:`repro.sim.topo` fabric named by
+``SystemConfig.topology``.  A remote transfer reserves every link on its
+route *in sequence*, so shared channels contend and multi-hop distance
+costs real cycles.  The default ``all_to_all`` fabric has a dedicated
+channel per ordered unit pair and reproduces the pre-topology simulator
+bit-identically.
+
+Both components record traffic into :class:`~repro.sim.stats.SystemStats`
+so the energy model and the Fig. 15 data-movement results need no extra
+hooks; the fabric additionally counts ``link_bit_hops`` (bits x links
+traversed) for per-hop link energy.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.sim.config import SystemConfig
 from repro.sim.stats import SystemStats
+from repro.sim.topo import Channel, Topology, build_topology
 
 
 class LoadEstimator:
@@ -103,8 +114,11 @@ class Crossbar:
         self._md1_rho = 0.0
         self._md1_denom = 2.0
 
-    def traverse(self, now: int, nbytes: int, hops: int = None) -> int:
+    def traverse(self, now: int, nbytes: int, hops: Optional[int] = None) -> int:
         """Latency in cycles to move ``nbytes`` across the local crossbar."""
+        if hops is not None and hops < 0:
+            # reject before the load estimator / stats see the packet.
+            raise ValueError(f"hop count must be non-negative, got {hops}")
         self._load.inject(now, nbytes)
         stats = self.stats
         stats.bytes_inside_units += nbytes
@@ -140,7 +154,7 @@ class Crossbar:
 
 
 class Link:
-    """A serial inter-unit link, one reserved resource per direction."""
+    """One serial physical channel of the inter-unit fabric."""
 
     __slots__ = ("config", "stats", "_next_free", "_bytes_per_cycle",
                  "_latency_cycles")
@@ -154,33 +168,69 @@ class Link:
         self._bytes_per_cycle = config.link_bytes_per_cycle
         self._latency_cycles = config.link_latency_cycles
 
-    def transfer(self, now: int, nbytes: int) -> int:
-        """Latency in cycles to push ``nbytes`` over this direction."""
+    def reserve(self, now: int, nbytes: int) -> int:
+        """Timing only: queue behind earlier packets, serialize, propagate.
+
+        The routed fabric calls this once per link on a route; traffic
+        accounting happens once per transfer in :class:`Interconnect`.
+        """
         serialization = max(int(math.ceil(nbytes / self._bytes_per_cycle)), 1)
         start = max(now, self._next_free)
         self._next_free = start + serialization
-        self.stats.bytes_across_units += nbytes
         return (start - now) + serialization + self._latency_cycles
+
+    def transfer(self, now: int, nbytes: int) -> int:
+        """Reserve + account (the standalone single-link entry point).
+
+        Keep the accounting here in lockstep with
+        :meth:`Interconnect.remote_latency`, which charges the same
+        counters once per routed transfer.
+        """
+        self.stats.bytes_across_units += nbytes
+        self.stats.link_bit_hops += nbytes * 8
+        return self.reserve(now, nbytes)
 
 
 class Interconnect:
-    """The whole fabric: one crossbar per unit, links between unit pairs."""
+    """The whole fabric: one crossbar per unit, a routed link topology.
 
-    __slots__ = ("config", "stats", "crossbars", "_links")
+    The :class:`~repro.sim.topo.Topology` decides the physical channels and
+    each pair's route; this class owns one :class:`Link` per channel (so
+    routes that share a channel share its reservation queue) and memoizes
+    each ordered pair's route as a tuple of Link objects for the hot path.
+    """
+
+    __slots__ = ("config", "stats", "crossbars", "topology", "_links",
+                 "_routes")
 
     def __init__(self, config: SystemConfig, stats: SystemStats):
         self.config = config
         self.stats = stats
         self.crossbars = [Crossbar(config, stats, u) for u in range(config.num_units)]
-        self._links: Dict[Tuple[int, int], Link] = {}
+        self.topology: Topology = build_topology(config)
+        self._links: Dict[Channel, Link] = {}
+        self._routes: Dict[Tuple[int, int], Tuple[Link, ...]] = {}
 
-    def _link(self, src_unit: int, dst_unit: int) -> Link:
+    def _route(self, src_unit: int, dst_unit: int) -> Tuple[Link, ...]:
+        """The Link objects a transfer crosses, in order (memoized)."""
         key = (src_unit, dst_unit)
-        link = self._links.get(key)
-        if link is None:
-            link = Link(self.config, self.stats)
-            self._links[key] = link
-        return link
+        route = self._routes.get(key)
+        if route is None:
+            links = self._links
+            resolved = []
+            for channel in self.topology.route(src_unit, dst_unit):
+                link = links.get(channel)
+                if link is None:
+                    link = Link(self.config, self.stats)
+                    links[channel] = link
+                resolved.append(link)
+            route = tuple(resolved)
+            self._routes[key] = route
+        return route
+
+    def remote_hops(self, src_unit: int, dst_unit: int) -> int:
+        """Physical links a ``src -> dst`` transfer crosses (0 if local)."""
+        return self.topology.hops(src_unit, dst_unit)
 
     # ------------------------------------------------------------------
     def local_latency(self, unit: int, now: int, nbytes: int) -> int:
@@ -188,11 +238,23 @@ class Interconnect:
         return self.crossbars[unit].traverse(now, nbytes)
 
     def remote_latency(self, src_unit: int, dst_unit: int, now: int, nbytes: int) -> int:
-        """Move a packet between units: local xbar, link, remote xbar."""
+        """Move a packet between units: local xbar, routed links, remote xbar.
+
+        Every physical link on the route is reserved in sequence — the
+        packet cannot occupy hop *k+1* before it clears hop *k* — so both
+        contention (shared channels) and distance (route length) shape the
+        latency.  Payload bytes are counted once; ``link_bit_hops`` counts
+        every traversed link for the energy model.
+        """
         if src_unit == dst_unit:
             return self.local_latency(src_unit, now, nbytes)
         latency = self.crossbars[src_unit].traverse(now, nbytes)
-        latency += self._link(src_unit, dst_unit).transfer(now + latency, nbytes)
+        route = self._route(src_unit, dst_unit)
+        stats = self.stats
+        stats.bytes_across_units += nbytes
+        stats.link_bit_hops += nbytes * 8 * len(route)
+        for link in route:
+            latency += link.reserve(now + latency, nbytes)
         latency += self.crossbars[dst_unit].traverse(now + latency, nbytes)
         return latency
 

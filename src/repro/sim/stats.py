@@ -38,9 +38,16 @@ class SystemStats:
 
     # Traffic in bytes (the Fig. 15 metric).
     bytes_inside_units: int = 0
+    #: payload bytes injected into the inter-unit fabric — counted once per
+    #: remote transfer regardless of how many physical links the route
+    #: crosses, so the metric is conserved across topologies.
     bytes_across_units: int = 0
     #: bit-hops over local crossbars (for local-network energy).
     local_bit_hops: int = 0
+    #: bits x physical inter-unit links traversed (for link energy).  On the
+    #: all-to-all fabric every route is one link, so this equals
+    #: ``bytes_across_units * 8``; routed fabrics charge every hop.
+    link_bit_hops: int = 0
 
     # Message counts.
     sync_messages_local: int = 0
@@ -125,6 +132,7 @@ class SystemStats:
             "sync_memory_accesses": self.sync_memory_accesses,
             "bytes_inside_units": self.bytes_inside_units,
             "bytes_across_units": self.bytes_across_units,
+            "link_bit_hops": self.link_bit_hops,
             "sync_messages_local": self.sync_messages_local,
             "sync_messages_global": self.sync_messages_global,
             "sync_messages_overflow": self.sync_messages_overflow,

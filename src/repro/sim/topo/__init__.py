@@ -1,0 +1,28 @@
+"""Pluggable interconnect topologies for the inter-unit fabric.
+
+See :mod:`repro.sim.topo.base` for the interface and
+:mod:`repro.sim.topo.regular` for the concrete fabrics
+(``all_to_all`` / ``ring`` / ``mesh2d`` / ``torus2d``).
+"""
+
+from repro.sim.topo.base import (
+    Channel,
+    Route,
+    Topology,
+    build_topology,
+    mesh_shape,
+)
+from repro.sim.topo.regular import TOPOLOGIES, AllToAll, Mesh2D, Ring, Torus2D
+
+__all__ = [
+    "AllToAll",
+    "Channel",
+    "Mesh2D",
+    "Ring",
+    "Route",
+    "TOPOLOGIES",
+    "Topology",
+    "Torus2D",
+    "build_topology",
+    "mesh_shape",
+]

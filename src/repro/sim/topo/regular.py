@@ -1,0 +1,124 @@
+"""The concrete fabrics: all-to-all, ring, 2D mesh, 2D torus.
+
+All routes are deterministic shortest paths with fixed tie-breaking, so a
+given (topology, num_nodes, shape) always yields the same routing table —
+a requirement for the sweep runner's serial-vs-parallel bit-identity.
+
+- :class:`AllToAll` — a dedicated channel per ordered pair.  This is the
+  seed simulator's implicit fabric (no two flows ever share a physical
+  channel, every remote hop count is 1) and remains the default; routed
+  through the generic machinery it reproduces the old latencies
+  bit-identically.
+- :class:`Ring` — a bidirectional ring; packets take the shorter
+  direction, clockwise (increasing node id) on a tie.
+- :class:`Mesh2D` — an R x C grid with X-then-Y dimension-order routing
+  (deadlock-free and deterministic, the standard NoC choice).
+- :class:`Torus2D` — the mesh plus wrap-around channels; each dimension
+  independently picks its shorter direction, increasing on a tie.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Type
+
+from repro.sim.topo.base import Channel, Topology, mesh_shape
+
+
+class AllToAll(Topology):
+    """Ideal fabric: a private physical channel per ordered node pair."""
+
+    name = "all_to_all"
+    GRID = False
+
+    def compute_route(self, src: int, dst: int) -> List[Channel]:
+        return [(src, dst)]
+
+
+class Ring(Topology):
+    """Bidirectional ring; shorter direction wins, clockwise on ties."""
+
+    name = "ring"
+    GRID = False
+
+    def compute_route(self, src: int, dst: int) -> List[Channel]:
+        n = self.num_nodes
+        forward = (dst - src) % n
+        backward = (src - dst) % n
+        step = 1 if forward <= backward else n - 1  # +1 or -1 mod n
+        route = []
+        node = src
+        while node != dst:
+            nxt = (node + step) % n
+            route.append((node, nxt))
+            node = nxt
+        return route
+
+
+class Mesh2D(Topology):
+    """R x C grid, X-then-Y dimension-order routing, no wrap-around."""
+
+    name = "mesh2d"
+    GRID = True
+
+    def __init__(self, num_nodes: int, rows: int = 0):
+        super().__init__(num_nodes)
+        self.rows, self.cols = mesh_shape(num_nodes, rows)
+
+    def _x_steps(self, col: int, dst_col: int) -> List[int]:
+        """Column indices visited moving toward ``dst_col`` (mesh: no wrap)."""
+        step = 1 if dst_col > col else -1
+        return list(range(col + step, dst_col + step, step))
+
+    def _y_steps(self, row: int, dst_row: int) -> List[int]:
+        step = 1 if dst_row > row else -1
+        return list(range(row + step, dst_row + step, step))
+
+    def compute_route(self, src: int, dst: int) -> List[Channel]:
+        cols = self.cols
+        row, col = divmod(src, cols)
+        dst_row, dst_col = divmod(dst, cols)
+        route = []
+        node = src
+        if col != dst_col:
+            for next_col in self._x_steps(col, dst_col):
+                nxt = row * cols + next_col
+                route.append((node, nxt))
+                node = nxt
+        if row != dst_row:
+            for next_row in self._y_steps(row, dst_row):
+                nxt = next_row * cols + dst_col
+                route.append((node, nxt))
+                node = nxt
+        return route
+
+
+class Torus2D(Mesh2D):
+    """The mesh with wrap-around; each dimension takes its shorter way."""
+
+    name = "torus2d"
+    GRID = True
+
+    @staticmethod
+    def _wrapped_steps(start: int, stop: int, size: int) -> List[int]:
+        """Indices visited from ``start`` to ``stop`` on a ``size``-cycle."""
+        forward = (stop - start) % size
+        backward = (start - stop) % size
+        step = 1 if forward <= backward else size - 1
+        steps = []
+        index = start
+        while index != stop:
+            index = (index + step) % size
+            steps.append(index)
+        return steps
+
+    def _x_steps(self, col: int, dst_col: int) -> List[int]:
+        return self._wrapped_steps(col, dst_col, self.cols)
+
+    def _y_steps(self, row: int, dst_row: int) -> List[int]:
+        return self._wrapped_steps(row, dst_row, self.rows)
+
+
+#: registry: SystemConfig.topology -> fabric class.
+TOPOLOGIES: Dict[str, Type[Topology]] = {
+    cls.name: cls for cls in (AllToAll, Ring, Mesh2D, Torus2D)
+}

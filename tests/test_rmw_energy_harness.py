@@ -81,12 +81,23 @@ class TestEnergyModel:
     def test_link_traffic_dominates_network_energy(self):
         config = ndp_2_5d()
         stats = SystemStats()
-        stats.bytes_across_units = 1000
+        stats.link_bit_hops = 1000 * 8  # 1000 bytes over one physical link
         cross = compute_energy(stats, config).network_pj
         stats2 = SystemStats()
         stats2.local_bit_hops = 1000 * 8 * 2
         local = compute_energy(stats2, config).network_pj
-        assert cross > local  # 4 pJ/bit link vs 0.4 pJ/bit/hop NoC
+        assert cross > local  # 4 pJ/bit/link vs 0.4 pJ/bit/hop NoC
+
+    def test_link_energy_scales_with_hops_traversed(self):
+        # the same payload over a 3-hop route costs 3x the link energy.
+        config = ndp_2_5d()
+        one_hop, three_hops = SystemStats(), SystemStats()
+        one_hop.bytes_across_units = three_hops.bytes_across_units = 1000
+        one_hop.link_bit_hops = 1000 * 8
+        three_hops.link_bit_hops = 1000 * 8 * 3
+        assert compute_energy(three_hops, config).network_pj == pytest.approx(
+            3 * compute_energy(one_hop, config).network_pj
+        )
 
     def test_normalization(self):
         config = ndp_2_5d()
