@@ -14,6 +14,9 @@
     python -m repro run topo_sensitivity     # routed-fabric sensitivity
     python -m repro sweep --structures stack --mechanisms syncron \
         --vary topology=all_to_all,ring,mesh2d,torus2d --dry-run
+    python -m repro corun --tenants lock,bfs.wk \
+        --topologies all_to_all,ring       # co-run interference matrix
+    python -m repro corun --tenants lock --check-isolation
     python -m repro quickstart               # the README example
 
 Each ``run`` target calls the corresponding function in
@@ -77,6 +80,9 @@ EXPERIMENTS: Dict[str, tuple] = {
     "topo_sensitivity": (experiments.topo_sensitivity,
                          "interconnect fabric slowdown (mechanism x "
                          "topology x unit count)"),
+    "interference": (experiments.interference,
+                     "co-run tenant slowdown vs alone (tenant pairs x "
+                     "mechanisms x fabrics)"),
 }
 
 #: experiment name -> how to draw it (chart kind, x/group key, series).
@@ -126,7 +132,7 @@ _POSITIONAL = {"fig10": "primitive", "fig11": "structure"}
 _SEQUENCE_PARAMS = frozenset({
     "combos", "core_steps", "st_sizes", "latencies_ns", "intervals",
     "datasets", "structures", "unit_steps", "core_counts", "mechanisms",
-    "topologies",
+    "topologies", "groups", "descs", "unit_split", "core_split",
 })
 
 
@@ -295,6 +301,78 @@ def cmd_sweep(args) -> int:
     return 0
 
 
+# ----------------------------------------------------------------------
+# corun: multi-tenant co-run scenarios (interference / isolation)
+# ----------------------------------------------------------------------
+def cmd_corun(args) -> int:
+    from repro.harness.experiments import (
+        CORUN_MECHANISMS, interference, isolation_check,
+    )
+
+    tenants = _csv(args.tenants)
+    if not tenants:
+        print("corun needs --tenants, e.g. --tenants lock,bfs.wk",
+              file=sys.stderr)
+        return 2
+    mechanisms = _csv(args.mechanisms) or CORUN_MECHANISMS
+    error = validate_names(mechanisms=mechanisms)
+    if error:
+        print(f"corun: {error}", file=sys.stderr)
+        return 2
+    topologies = _csv(args.topologies) or ("all_to_all",)
+    unit_split = core_split = None
+    try:
+        if args.units:
+            unit_split = tuple(int(u) for u in _csv(args.units))
+        if args.cores:
+            core_split = tuple(int(c) for c in _csv(args.cores))
+    except ValueError:
+        print("--units/--cores expect counts like 2,2", file=sys.stderr)
+        return 2
+
+    STATS.reset()
+    status = 0
+    with execution_options(jobs=args.jobs, cache=not args.no_cache,
+                           cache_dir=args.cache_dir):
+        try:
+            if args.check_isolation:
+                if unit_split or core_split:
+                    print("corun: --check-isolation is whole-machine by "
+                          "definition; drop --units/--cores", file=sys.stderr)
+                    return 2
+                rows = isolation_check(
+                    descs=tenants, mechanisms=mechanisms,
+                    topologies=topologies, interval=args.interval,
+                    rounds=args.rounds, preset=args.preset,
+                )
+                print(format_table(rows, title="corun isolation check"))
+                broken = [r for r in rows if not r["identical"]]
+                if broken:
+                    print(
+                        f"corun: isolation violated for "
+                        f"{[(r['workload'], r['mechanism']) for r in broken]}",
+                        file=sys.stderr,
+                    )
+                    status = 1
+            else:
+                if len(tenants) < 2:
+                    print("corun interference needs at least two --tenants "
+                          "(or pass --check-isolation)", file=sys.stderr)
+                    return 2
+                rows = interference(
+                    groups=[tuple(tenants)], mechanisms=mechanisms,
+                    topologies=topologies, interval=args.interval,
+                    rounds=args.rounds, unit_split=unit_split,
+                    core_split=core_split, preset=args.preset,
+                )
+                print(format_table(rows, title="corun interference"))
+        except ValueError as exc:
+            print(f"corun: {exc}", file=sys.stderr)
+            return 2
+    print(f"[runner] {STATS.summary()}", file=sys.stderr)
+    return status
+
+
 def cmd_quickstart(_args) -> int:
     from repro import NDPSystem, api, ndp_2_5d
     from repro.sim import Compute
@@ -371,6 +449,35 @@ def build_parser() -> argparse.ArgumentParser:
                             "hit/miss counts without simulating anything")
     add_runner_flags(sweep)
 
+    corun = sub.add_parser(
+        "corun",
+        help="co-run tenants on one machine (interference / isolation)",
+    )
+    corun.add_argument("--tenants", metavar="T1,T2,...",
+                       help="tenant workloads: primitives (lock), app combos "
+                            "(bfs.wk), or structures (stack)")
+    corun.add_argument("--units", metavar="N1,N2,...",
+                       help="units per tenant (contiguous slices; default "
+                            "even split)")
+    corun.add_argument("--cores", metavar="N1,N2,...",
+                       help="client cores per tenant instead of whole units "
+                            "(tenants then share units/SEs/crossbars)")
+    corun.add_argument("--mechanisms", metavar="M,N,...",
+                       help="mechanisms to compare (default central,syncron)")
+    corun.add_argument("--topologies", metavar="T,U,...",
+                       help="fabrics to sweep (default all_to_all)")
+    corun.add_argument("--interval", type=int, default=200,
+                       help="instruction interval for primitive tenants "
+                            "(default 200)")
+    corun.add_argument("--rounds", type=int, default=None,
+                       help="rounds for primitive tenants (default scaled)")
+    corun.add_argument("--preset", default="ndp_2_5d",
+                       help="base SystemConfig preset (default ndp_2_5d)")
+    corun.add_argument("--check-isolation", action="store_true",
+                       help="assert a whole-machine single tenant is "
+                            "bit-identical to the plain run (exit 1 if not)")
+    add_runner_flags(corun)
+
     sub.add_parser("quickstart", help="run the README quickstart")
     return parser
 
@@ -378,7 +485,7 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: List[str] = None) -> int:
     args = build_parser().parse_args(argv)
     handler = {"list": cmd_list, "run": cmd_run, "sweep": cmd_sweep,
-               "quickstart": cmd_quickstart}
+               "corun": cmd_corun, "quickstart": cmd_quickstart}
     return handler[args.command](args)
 
 

@@ -79,24 +79,6 @@ _REDIRECT_OPCODES = {
     Opcode.COND_BROAD_LOCAL: Opcode.COND_BROAD_OVERFLOW,
 }
 
-#: primitive kind of a variable, derived from the first operation on it.
-_OP_KINDS = {
-    LOCK_ACQUIRE: "lock",
-    LOCK_RELEASE: "lock",
-    BARRIER_WAIT_WITHIN_UNIT: "barrier",
-    BARRIER_WAIT_ACROSS_UNITS: "barrier",
-    SEM_WAIT: "semaphore",
-    SEM_POST: "semaphore",
-    COND_WAIT: "condvar",
-    COND_SIGNAL: "condvar",
-    COND_BROADCAST: "condvar",
-    RW_READ_ACQUIRE: "rwlock",
-    RW_READ_RELEASE: "rwlock",
-    RW_WRITE_ACQUIRE: "rwlock",
-    RW_WRITE_RELEASE: "rwlock",
-}
-
-
 class SyncEngine(ProtocolMixin):
     """One SE, integrated in the compute die of one NDP unit.
 
@@ -168,7 +150,11 @@ class SyncEngine(ProtocolMixin):
     def _finish(self, msg: Message) -> None:
         self._extra = 0
         self.messages_handled += 1
-        self.stats.record_st_occupancy(self.se_id, self.st.occupied)
+        stats = self.stats
+        stats.record_st_occupancy(self.se_id, self.st.occupied)
+        # Everything this dispatch does (messages, syncronVar accesses,
+        # server-core loads/stores) is on behalf of the variable's tenant.
+        stats.active = msg.var.owner if msg.var is not None else None
         self.dispatch(msg)
         if self._extra > 0:
             self.sim.schedule(self._extra, self._start_next)
@@ -199,7 +185,7 @@ class SyncEngine(ProtocolMixin):
         )
         if not overflow:
             entry = self.st.allocate(msg.var)
-            self.stats.st_allocations += 1
+            self.stats.count_st_allocation()
             if sem_init is not None:
                 entry.table_info = sem_init
             return entry, False
@@ -297,7 +283,7 @@ class SyncEngine(ProtocolMixin):
             self.store.drop(var.addr)
         else:
             if self.st.release_if_idle(state):
-                self.stats.st_releases += 1
+                self.stats.count_st_release()
 
     # ------------------------------------------------------------------
     # Outbound messages
@@ -369,16 +355,9 @@ class SynCronMechanism(MechanismBase):
 
     # ------------------------------------------------------------------
     def _prepare(self, core, op: str, var: SyncVar, info) -> Message:
-        kind = _OP_KINDS[op]
-        if var.kind is None:
-            var.kind = kind
-        elif var.kind != kind:
-            raise ProtocolError(
-                f"variable {var.name} used as {var.kind} and now as {kind}"
-            )
+        self._admit(core, op, var)
         if op == SEM_WAIT:
             self.sem_initial.setdefault(var.addr, info)
-        self.stats.sync_requests_total += 1
         return Message(_REQUEST_OPCODES[op], var, core=core.core_id, info=info)
 
     def _inject(self, core, msg: Message) -> None:
@@ -400,7 +379,8 @@ class SynCronMechanism(MechanismBase):
     def request_async(self, core, op, var, info) -> int:
         msg = self._prepare(core, op, var, info)
         self._inject(core, msg)
-        return 1  # req_async commits once the message is issued (Sec. 4.1)
+        # req_async commits once the message is issued (Sec. 4.1).
+        return self.config.async_issue_cycles
 
     def inject_internal(self, se: SyncEngine, msg: Message) -> None:
         """Route an SE-initiated request (hierarchical: stays at that SE)."""

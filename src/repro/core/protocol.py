@@ -25,9 +25,10 @@ Handler conventions
 from __future__ import annotations
 
 from repro.core.messages import Message, Opcode
+from repro.sim.syncif import SyncUsageError
 
 
-class ProtocolError(RuntimeError):
+class ProtocolError(SyncUsageError):
     """A message arrived that a correct program could not have produced."""
 
 

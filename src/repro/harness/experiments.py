@@ -20,9 +20,10 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence
 
 from repro.harness.runner import run_sweep
-from repro.harness.specs import RunSpec, SweepSpec
-from repro.sim.config import MEMORY_TECHNOLOGIES, ndp_2_5d
+from repro.harness.specs import RunSpec, SweepSpec, split_combo
+from repro.sim.config import MEMORY_TECHNOLOGIES, PRESETS, ndp_2_5d
 from repro.workloads.base import scaled
+from repro.workloads.datastructures import ALL_STRUCTURES
 from repro.workloads.graphs import bfs_partition, load_dataset, random_partition
 from repro.workloads.graphs.partition import edge_cut
 from repro.workloads.microbench import PRIMITIVES
@@ -505,6 +506,249 @@ def topo_sensitivity(topologies: Sequence[str] = ALL_TOPOLOGIES,
                 row[mech] = makespan / baseline if baseline else float("inf")
                 row[f"{mech}_cycles"] = makespan
             rows.append(row)
+    return rows
+
+
+# ======================================================================
+# Co-run interference — tenant groups x mechanisms x fabrics (extension)
+# ======================================================================
+#: default mechanisms for the interference matrix: Central funnels every
+#: tenant through one shared server core (strong interference), SynCron's
+#: per-unit SEs isolate unit-aligned tenants (the contrast worth plotting).
+CORUN_MECHANISMS = ("central", "syncron")
+
+
+def tenant_desc(desc: str, interval: int = 200, rounds: int = 25) -> Dict:
+    """Shorthand tenant description: ``lock`` (primitive), ``bfs.wk``
+    (application combo), ``stack`` (data structure)."""
+    if desc in PRIMITIVES:
+        return {"workload": "primitive",
+                "args": {"primitive": desc, "interval": interval,
+                         "rounds": rounds}}
+    if "." in desc:
+        split_combo(desc)  # validates, raises a friendly error
+        return {"workload": "app", "args": {"combo": desc}}
+    if desc in ALL_STRUCTURES:
+        return {"workload": "structure", "args": {"structure": desc}}
+    raise ValueError(
+        f"unknown tenant workload {desc!r}; use a primitive "
+        f"({sorted(PRIMITIVES)}), an app combo like 'bfs.wk', or a "
+        f"structure ({sorted(ALL_STRUCTURES)})"
+    )
+
+
+def _unit_slices(num_units: int, counts: Sequence[int]) -> List[tuple]:
+    """Contiguous unit slices of the given sizes (must sum to <= units)."""
+    if sum(counts) > num_units:
+        raise ValueError(
+            f"unit split {tuple(counts)} exceeds the {num_units}-unit system"
+        )
+    slices, start = [], 0
+    for count in counts:
+        if count < 1:
+            raise ValueError("every tenant needs at least one unit")
+        slices.append(tuple(range(start, start + count)))
+        start += count
+    return slices
+
+
+def _even_unit_split(num_units: int, n_tenants: int) -> List[int]:
+    share, extra = divmod(num_units, n_tenants)
+    if share == 0:
+        raise ValueError(
+            f"{n_tenants} tenants need at least {n_tenants} units, "
+            f"got {num_units}"
+        )
+    return [share + (1 if i < extra else 0) for i in range(n_tenants)]
+
+
+def _tenant_group(descs: Sequence[str], interval: int, rounds: int,
+                  unit_slices: Optional[Sequence[tuple]] = None,
+                  core_slices: Optional[Sequence[tuple]] = None) -> List[Dict]:
+    """Named tenant descriptions for one co-run group.
+
+    Partitioned either unit-granularly (``unit_slices``) or core-granularly
+    (``core_slices``, explicit core-id tuples — tenants then share units,
+    SEs, crossbars, and DRAM, the interference-heavy shape).  Slices are
+    explicit so a tenant's solo baseline can run on *exactly* the cores it
+    occupied in the co-run.
+    """
+    tenants = []
+    for i, desc in enumerate(descs):
+        name = desc if descs.index(desc) == i else f"{desc}#{i}"
+        tenant = {"name": name,
+                  **tenant_desc(desc, interval=interval, rounds=rounds)}
+        if unit_slices is not None:
+            tenant["units"] = list(unit_slices[i])
+        elif core_slices is not None:
+            tenant["core_ids"] = list(core_slices[i])
+        tenants.append(tenant)
+    return tenants
+
+
+def interference(groups: Sequence = (("lock", "bfs.wk"), ("lock", "stack")),
+                 mechanisms: Sequence[str] = CORUN_MECHANISMS,
+                 topologies: Sequence[str] = ("all_to_all", "ring"),
+                 interval: int = 200,
+                 rounds: Optional[int] = None,
+                 unit_split: Optional[Sequence[int]] = None,
+                 core_split: Optional[Sequence[int]] = None,
+                 preset: str = "ndp_2_5d",
+                 base_overrides: Optional[Dict] = None) -> List[Dict]:
+    """Per-tenant slowdown vs running alone, across mechanisms x fabrics.
+
+    Each *group* is a tuple of tenant shorthands (see :func:`tenant_desc`);
+    a group may also be given as a ``+``-joined string (``"lock+bfs.wk"``,
+    the CLI form).  The machine's units are split contiguously among the
+    group's tenants (evenly unless ``unit_split`` gives explicit counts;
+    ``core_split`` instead assigns client-core counts, making tenants share
+    units — and therefore SEs, ST capacity, crossbars, and DRAM banks).
+    Every cell simulates the co-run plus each tenant *alone on the same
+    slice*, so the reported slowdown isolates interference through the
+    shared resources from the capacity loss of partitioning itself.  All
+    runs are cacheable ``corun`` specs; solo runs shared between cells
+    deduplicate automatically.
+    """
+    groups = [
+        tuple(g.split("+")) if isinstance(g, str) else tuple(g)
+        for g in groups
+    ]
+    if unit_split is not None and core_split is not None:
+        raise ValueError("give unit_split or core_split, not both")
+    rounds = rounds if rounds is not None else scaled(10)
+    overrides = dict(base_overrides or {})
+    base_cfg = PRESETS[preset]()
+    num_units = overrides.get("num_units", base_cfg.num_units)
+    total_clients = (
+        num_units
+        * overrides.get("client_cores_per_unit",
+                        base_cfg.client_cores_per_unit)
+        * overrides.get("threads_per_core", base_cfg.threads_per_core)
+    )
+
+    def corun_spec(tenants, mech, topo):
+        return RunSpec.make(
+            "corun", mech, args={"tenants": tenants}, preset=preset,
+            overrides={**overrides, "topology": topo},
+        )
+
+    cells = []  # (group, tenants, topo, mech)
+    specs: List[RunSpec] = []
+    for group in groups:
+        if core_split is not None:
+            if len(core_split) != len(group):
+                raise ValueError(
+                    f"core split {tuple(core_split)} does not match "
+                    f"group {group}"
+                )
+            if sum(core_split) > total_clients:
+                raise ValueError(
+                    f"core split {tuple(core_split)} exceeds the "
+                    f"{total_clients} client cores of this configuration"
+                )
+            # Explicit contiguous id ranges (what the deterministic
+            # partitioner would assign) so each solo baseline reuses the
+            # tenant's exact co-run slice.
+            starts = [sum(core_split[:i]) for i in range(len(core_split))]
+            core_slices = [
+                tuple(range(start, start + count))
+                for start, count in zip(starts, core_split)
+            ]
+            tenants = _tenant_group(group, interval, rounds,
+                                    core_slices=core_slices)
+        else:
+            counts = list(unit_split) if unit_split else _even_unit_split(
+                num_units, len(group))
+            if len(counts) != len(group):
+                raise ValueError(
+                    f"unit split {counts} does not match group {group}"
+                )
+            tenants = _tenant_group(
+                group, interval, rounds,
+                unit_slices=_unit_slices(num_units, counts),
+            )
+        for topo in topologies:
+            for mech in mechanisms:
+                cells.append((group, tenants, topo, mech))
+                specs.append(corun_spec(tenants, mech, topo))
+                specs.extend(
+                    corun_spec([tenant], mech, topo) for tenant in tenants
+                )
+
+    results = iter(run_sweep(SweepSpec.of("interference", specs)))
+    rows = []
+    for group, tenants, topo, mech in cells:
+        corun = next(results)
+        row: Dict[str, object] = {
+            "pair": "+".join(group),
+            "topology": topo,
+            "mechanism": mech,
+            "makespan": corun.cycles,
+            "fairness": corun.stats.get("tenant_summary.fairness", 1.0),
+        }
+        for tenant in tenants:
+            solo = next(results)
+            name = tenant["name"]
+            together = corun.stats[f"tenant.{name}.cycles"]
+            alone = solo.stats[f"tenant.{name}.cycles"]
+            row[f"{name}_slowdown"] = together / alone if alone else float("inf")
+            row[f"{name}_cycles"] = together
+            row[f"{name}_alone_cycles"] = alone
+        rows.append(row)
+    return rows
+
+
+def isolation_check(descs: Sequence[str] = ("lock",),
+                    mechanisms: Sequence[str] = ("syncron", "hier", "central"),
+                    topologies: Sequence[str] = ("all_to_all",),
+                    interval: int = 200,
+                    rounds: Optional[int] = None,
+                    preset: str = "ndp_2_5d",
+                    base_overrides: Optional[Dict] = None) -> List[Dict]:
+    """Bit-identity of a whole-machine single tenant vs the plain run.
+
+    The co-run path's sanity anchor: one tenant owning all cores must
+    reproduce the single-workload simulation exactly — same cycles, same
+    energy breakdown, same byte counters — under every requested mechanism
+    and fabric.  Returns one row per (workload, mechanism, topology) with
+    an ``identical`` verdict; the CI smoke run and
+    ``repro corun --check-isolation`` fail when any row is False.
+    """
+    rounds = rounds if rounds is not None else scaled(10)
+    specs: List[RunSpec] = []
+    cells = []
+    for desc in descs:
+        tenant = {"name": desc, **tenant_desc(desc, interval, rounds)}
+        for topo in topologies:
+            overrides = {**(base_overrides or {}), "topology": topo}
+            for mech in mechanisms:
+                cells.append((desc, mech, topo))
+                specs.append(RunSpec.make(
+                    tenant["workload"], mech, args=tenant["args"],
+                    preset=preset, overrides=overrides,
+                ))
+                specs.append(RunSpec.make(
+                    "corun", mech, args={"tenants": [tenant]}, preset=preset,
+                    overrides=overrides,
+                ))
+    results = iter(run_sweep(SweepSpec.of("isolation_check", specs)))
+    rows = []
+    for desc, mech, topo in cells:
+        solo, corun = next(results), next(results)
+        identical = (
+            solo.cycles == corun.cycles
+            and solo.energy == corun.energy
+            and solo.bytes_inside_units == corun.bytes_inside_units
+            and solo.bytes_across_units == corun.bytes_across_units
+        )
+        rows.append({
+            "workload": desc,
+            "mechanism": mech,
+            "topology": topo,
+            "solo_cycles": solo.cycles,
+            "corun_cycles": corun.cycles,
+            "identical": identical,
+        })
     return rows
 
 

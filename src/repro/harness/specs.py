@@ -401,6 +401,67 @@ def build_unionfind(**kwargs) -> Workload:
     return UnionFindWorkload(**kwargs)
 
 
+# ----------------------------------------------------------------------
+# Co-run (multi-tenant) workloads
+# ----------------------------------------------------------------------
+def _unfrozen(value):
+    """Undo :func:`freeze` on a tenant field: pair-tuples back to dicts."""
+    if isinstance(value, Mapping):
+        return {str(k): _unfrozen(v) for k, v in value.items()}
+    if (isinstance(value, tuple)
+            and all(isinstance(p, tuple) and len(p) == 2
+                    and isinstance(p[0], str) for p in value)):
+        return {k: _unfrozen(v) for k, v in value}
+    if isinstance(value, (list, tuple)):
+        return [_unfrozen(v) for v in value]
+    return value
+
+
+def build_corun(tenants) -> Workload:
+    """A multi-tenant co-run from plain-data tenant descriptions.
+
+    ``tenants`` is a sequence of mappings (or their frozen spec forms), one
+    per tenant::
+
+        {"name": "locky", "workload": "primitive",
+         "args": {"primitive": "lock", "interval": 200, "rounds": 25},
+         "units": [0, 1]}   # or "cores": 6, "core_ids": [0, 1, 2], neither
+
+    ``workload`` is any (non-corun) :data:`WORKLOAD_BUILDERS` key; the
+    partition knobs match :class:`repro.workloads.corun.TenantSpec`.
+    """
+    from repro.workloads.corun import CorunWorkload, TenantSpec
+
+    if not tenants:
+        raise ValueError("corun needs at least one tenant")
+    specs = []
+    for i, raw in enumerate(tenants):
+        tenant = _unfrozen(raw)
+        if not isinstance(tenant, dict):
+            raise ValueError(f"tenant #{i} must be a mapping, got {raw!r}")
+        workload = tenant.get("workload")
+        if workload == "corun":
+            raise ValueError("co-runs do not nest")
+        if workload not in WORKLOAD_BUILDERS:
+            raise ValueError(
+                f"tenant #{i}: unknown workload {workload!r}; choose from "
+                f"{sorted(k for k in WORKLOAD_BUILDERS if k != 'corun')}"
+            )
+        args = tenant.get("args") or {}
+        builder = WORKLOAD_BUILDERS[workload]
+        units = tenant.get("units")
+        core_ids = tenant.get("core_ids")
+        specs.append(TenantSpec(
+            name=str(tenant.get("name") or f"t{i}"),
+            factory=lambda builder=builder, args=dict(args): builder(**args),
+            cores=tenant.get("cores"),
+            units=tuple(int(u) for u in units) if units is not None else None,
+            core_ids=(tuple(int(c) for c in core_ids)
+                      if core_ids is not None else None),
+        ))
+    return CorunWorkload(specs)
+
+
 #: registry key -> builder returning a fresh single-use Workload.
 WORKLOAD_BUILDERS: Dict[str, Callable[..., Workload]] = {
     "app": build_app,
@@ -408,6 +469,7 @@ WORKLOAD_BUILDERS: Dict[str, Callable[..., Workload]] = {
     "primitive": build_primitive,
     "rwbench": build_rwbench,
     "unionfind": build_unionfind,
+    "corun": build_corun,
 }
 
 #: builders whose constructors accept a ``seed`` keyword; RunSpec.seed is

@@ -34,9 +34,10 @@ from repro.sim.program import (
     batch,
 )
 from repro.sim.smt import IssuePort
-from repro.sim.stats import SystemStats
-from repro.sim.syncif import SyncVar
+from repro.sim.stats import SystemStats, TenantStats
+from repro.sim.syncif import SyncUsageError, SyncVar
 from repro.sim.system import MECHANISM_NAMES, NDPSystem
+from repro.sim.tenancy import TenantView
 from repro.sim.trace import MessageTracer
 
 __all__ = [
@@ -61,9 +62,12 @@ __all__ = [
     "Store",
     "SyncAsyncOp",
     "SyncOp",
+    "SyncUsageError",
     "SyncVar",
     "SystemConfig",
     "SystemStats",
+    "TenantStats",
+    "TenantView",
     "compute_energy",
     "cpu_numa",
     "ndp_2_5d",

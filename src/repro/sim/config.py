@@ -144,6 +144,9 @@ class SystemConfig:
     se_service_se_cycles: int = 12
     #: lock fairness threshold (Sec. 4.4.2); 0 disables the fairness counter.
     fairness_threshold: int = 0
+    #: core-side cycles to issue a fire-and-forget ``req_async`` before the
+    #: program continues (Sec. 4.1: the request commits once issued).
+    async_issue_cycles: int = 1
     #: where ST-overflow state lives (Sec. 4.6): ``"memory"`` is the paper's
     #: NDP design (syncronVar in the Master SE's DRAM); ``"shared_cache"``
     #: models the conventional-NUMA adaptation that falls back to a
@@ -256,6 +259,8 @@ class SystemConfig:
             )
         if self.shared_cache_hit_cycles < 1:
             raise ValueError("shared-cache latency must be positive")
+        if self.async_issue_cycles < 1:
+            raise ValueError("async issue cost must be at least one cycle")
         if self.l1_size_bytes % (self.l1_ways * self.cache_line_bytes):
             raise ValueError("L1 size must be a multiple of ways*line")
 

@@ -35,7 +35,8 @@ class NDPCore:
     __slots__ = ("sim", "core_id", "unit_id", "local_id", "l1", "memsys",
                  "mechanism", "config", "port", "process", "finished",
                  "finish_time", "instructions_retired", "sync_requests_issued",
-                 "_waiting_since", "cycles_waiting_sync", "sender_token")
+                 "_waiting_since", "cycles_waiting_sync", "sender_token",
+                 "tstats")
 
     def __init__(
         self,
@@ -63,6 +64,10 @@ class NDPCore:
         #: shared in-order pipeline when several hardware thread contexts
         #: live on one physical core (Sec. 4 SMT note); None = sole owner.
         self.port = port
+
+        #: the tenant this core is bound to in co-run scenarios (None when
+        #: the whole machine runs one workload).
+        self.tstats = None
 
         self.process: Optional[Process] = None
         self.finished = False
@@ -93,6 +98,11 @@ class NDPCore:
     # ------------------------------------------------------------------
     def _advance(self, value=None) -> None:
         """Resume the program and dispatch its next operation."""
+        tstats = self.tstats
+        if tstats is not None:
+            # Everything this micro-step does inline (memory accesses,
+            # mechanism request injection) is on this tenant's behalf.
+            self.memsys.stats.active = tstats
         op = self.process.resume(value)
         if op is None:
             return

@@ -9,7 +9,7 @@ provides a bump allocator per unit.
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
 
 class AddressMap:
@@ -68,10 +68,19 @@ class AddressMap:
         """Allocate ``count`` elements round-robin across units.
 
         Returns per-element addresses.  Used for data the paper partitions
-        across units (e.g., vertex property arrays).
+        across units (e.g., vertex property arrays).  Each unit allocates
+        exactly the slots it owns — ``count // num_units`` plus one for the
+        first ``count % num_units`` units — not a uniform
+        ``ceil(count / num_units)``, which wasted a tail slot in every
+        trailing unit (a whole line per unit for small arrays).
         """
-        per_unit = (count + self.num_units - 1) // self.num_units
-        bases = [self.alloc_array(u, per_unit, elem_bytes) for u in range(self.num_units)]
+        if count <= 0:
+            raise ValueError("striped array needs a positive element count")
+        base_slots, extra = divmod(count, self.num_units)
+        bases: List[Optional[int]] = []
+        for u in range(self.num_units):
+            slots = base_slots + (1 if u < extra else 0)
+            bases.append(self.alloc_array(u, slots, elem_bytes) if slots else None)
         addrs = []
         for i in range(count):
             unit = i % self.num_units

@@ -122,6 +122,9 @@ class Crossbar:
         self._load.inject(now, nbytes)
         stats = self.stats
         stats.bytes_inside_units += nbytes
+        tenant = stats.active
+        if tenant is not None:
+            tenant.bytes_inside_units += nbytes
         if hops is None:
             stats.local_bit_hops += nbytes * 8 * self._local_hops
             base = self._base_cycles
@@ -188,6 +191,9 @@ class Link:
         """
         self.stats.bytes_across_units += nbytes
         self.stats.link_bit_hops += nbytes * 8
+        tenant = self.stats.active
+        if tenant is not None:
+            tenant.bytes_across_units += nbytes
         return self.reserve(now, nbytes)
 
 
@@ -253,6 +259,9 @@ class Interconnect:
         stats = self.stats
         stats.bytes_across_units += nbytes
         stats.link_bit_hops += nbytes * 8 * len(route)
+        tenant = stats.active
+        if tenant is not None:
+            tenant.bytes_across_units += nbytes
         for link in route:
             latency += link.reserve(now + latency, nbytes)
         latency += self.crossbars[dst_unit].traverse(now + latency, nbytes)

@@ -89,6 +89,27 @@ RELEASE_TYPE_OPS = frozenset(
 )
 ALL_SYNC_OPS = ACQUIRE_TYPE_OPS | RELEASE_TYPE_OPS
 
+#: primitive kind of each operation.  The first operation on a SyncVar pins
+#: its kind; later operations must match (the single-use rule the real
+#: ``create_syncvar`` API cannot even express — see
+#: :meth:`repro.sim.syncif.MechanismBase._admit`, which every mechanism
+#: funnels through).
+OP_KINDS = {
+    LOCK_ACQUIRE: "lock",
+    LOCK_RELEASE: "lock",
+    BARRIER_WAIT_WITHIN_UNIT: "barrier",
+    BARRIER_WAIT_ACROSS_UNITS: "barrier",
+    SEM_WAIT: "semaphore",
+    SEM_POST: "semaphore",
+    COND_WAIT: "condvar",
+    COND_SIGNAL: "condvar",
+    COND_BROADCAST: "condvar",
+    RW_READ_ACQUIRE: "rwlock",
+    RW_READ_RELEASE: "rwlock",
+    RW_WRITE_ACQUIRE: "rwlock",
+    RW_WRITE_RELEASE: "rwlock",
+}
+
 
 @dataclass(frozen=True)
 class Batch:

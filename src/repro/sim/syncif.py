@@ -13,6 +13,25 @@ from __future__ import annotations
 import itertools
 from typing import Callable, Optional, Protocol, runtime_checkable
 
+from repro.sim.program import OP_KINDS
+
+
+class SyncUsageError(RuntimeError):
+    """A mechanism-agnostic misuse of the synchronization API.
+
+    Raised by the shared admission check every mechanism funnels through
+    (:meth:`MechanismBase._admit`) — most importantly for the single-use
+    rule: one variable used as two different primitive kinds.
+    """
+
+
+def _no_waiter() -> None:
+    """Shared no-op grant callback for fire-and-forget ``req_async``.
+
+    Module-level so release-heavy hot paths don't allocate a fresh
+    ``lambda: None`` per request.
+    """
+
 
 _var_ids = itertools.count()
 
@@ -24,16 +43,20 @@ class SyncVar:
     memory; the owning unit determines the *Master SE*.  The ``kind`` is set
     on first use and checked afterwards — using one variable as both a lock
     and a barrier is a programming error the real API also cannot express.
+    ``owner`` ties the variable to a tenant's
+    :class:`~repro.sim.stats.TenantStats` in co-run scenarios (None outside
+    them) so SE-side service can be attributed.
     """
 
-    __slots__ = ("addr", "unit", "kind", "uid", "name")
+    __slots__ = ("addr", "unit", "kind", "uid", "name", "owner")
 
-    def __init__(self, addr: int, unit: int, name: str = ""):
+    def __init__(self, addr: int, unit: int, name: str = "", owner=None):
         self.addr = addr
         self.unit = unit
         self.kind: Optional[str] = None
         self.uid = next(_var_ids)
         self.name = name or f"svar{self.uid}"
+        self.owner = owner
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"SyncVar({self.name}, addr={self.addr:#x}, unit={self.unit})"
@@ -71,14 +94,36 @@ class MechanismBase:
         self.stats = system.stats
         self.interconnect = system.interconnect
 
+    def _admit(self, core, op: str, var: SyncVar) -> None:
+        """Shared per-request admission: every mechanism calls this first.
+
+        Enforces the :class:`SyncVar` single-use rule (the ``kind`` pinned
+        by the first operation must match all later ones — previously only
+        the SynCron engine and the reference semantics checked it, so the
+        software baselines silently accepted broken programs) and counts
+        the request globally and against the requesting tenant.
+        """
+        kind = OP_KINDS[op]
+        if var.kind is None:
+            var.kind = kind
+        elif var.kind != kind:
+            raise SyncUsageError(
+                f"variable {var.name} used as {var.kind} and now as {kind}"
+            )
+        stats = self.stats
+        stats.sync_requests_total += 1
+        tenant = getattr(core, "tstats", None) or var.owner
+        if tenant is not None:
+            tenant.sync_requests += 1
+
     # Subclasses override these two.
     def request(self, core, op, var, info, callback) -> None:  # pragma: no cover
         raise NotImplementedError
 
     def request_async(self, core, op, var, info) -> int:
         """Default: model req_async as a request whose ACK nobody waits for."""
-        self.request(core, op, var, info, callback=lambda: None)
-        return 1
+        self.request(core, op, var, info, callback=_no_waiter)
+        return self.config.async_issue_cycles
 
     def rmw(self, core, addr: int, op: str, operand: int,
             callback: Callable[[int], None]) -> None:

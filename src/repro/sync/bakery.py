@@ -51,7 +51,7 @@ from repro.sim.program import (
     SEM_POST,
     SEM_WAIT,
 )
-from repro.sim.syncif import MechanismBase, SyncVar
+from repro.sim.syncif import MechanismBase, SyncVar, _no_waiter
 
 #: bytes of one word-grain uncacheable access (header + payload).
 WORD_BYTES = 16
@@ -111,6 +111,9 @@ class BakeryMechanism(MechanismBase):
         """Charge ``loads`` + ``stores`` back-to-back accesses, then call
         ``done``.  One simulator event for the whole sequence (the in-order
         core cannot overlap them anyway)."""
+        # Retry chains re-enter here from scheduled events, so re-establish
+        # the requesting core's tenant as the attribution context.
+        self.stats.active = getattr(core, "tstats", None)
         cursor = self.sim.now
         for _ in range(stores):
             cursor += max(self._access(core, var, True, cursor), 1)
@@ -138,7 +141,7 @@ class BakeryMechanism(MechanismBase):
     # Mechanism interface
     # ------------------------------------------------------------------
     def request(self, core, op, var, info, callback) -> None:
-        self.stats.sync_requests_total += 1
+        self._admit(core, op, var)
         if op == LOCK_ACQUIRE:
             self._lock_acquire(core, var, callback)
         elif op == LOCK_RELEASE:
@@ -167,8 +170,8 @@ class BakeryMechanism(MechanismBase):
             raise ValueError(f"unknown sync op {op!r}")
 
     def request_async(self, core, op, var, info) -> int:
-        self.request(core, op, var, info, callback=lambda: None)
-        return 1
+        self.request(core, op, var, info, callback=_no_waiter)
+        return self.config.async_issue_cycles
 
     # ------------------------------------------------------------------
     # The bakery lock itself

@@ -25,14 +25,14 @@ class IdealMechanism(MechanismBase):
 
     # ------------------------------------------------------------------
     def request(self, core, op, var, info, callback) -> None:
-        self.stats.sync_requests_total += 1
+        self._admit(core, op, var)
         self._pending[core.core_id] = callback
         self._wake_all(self.logic.apply(core.core_id, op, var, info))
 
     def request_async(self, core, op, var, info) -> int:
-        self.stats.sync_requests_total += 1
+        self._admit(core, op, var)
         self._wake_all(self.logic.apply(core.core_id, op, var, info))
-        return 1
+        return self.config.async_issue_cycles
 
     def _wake_all(self, core_ids) -> None:
         for core_id in core_ids:

@@ -29,9 +29,10 @@ from repro.sim.program import (
     SEM_POST,
     SEM_WAIT,
 )
+from repro.sim.syncif import SyncUsageError
 
 
-class LogicError(RuntimeError):
+class LogicError(SyncUsageError):
     """An operation a correct program could not have issued."""
 
 

@@ -58,7 +58,7 @@ from repro.sim.program import (
     SEM_POST,
     SEM_WAIT,
 )
-from repro.sim.syncif import MechanismBase, SyncVar
+from repro.sim.syncif import MechanismBase, SyncVar, _no_waiter
 
 #: bytes of an rmw request / response message (address + opcode + operand).
 RMW_REQUEST_BYTES = 18
@@ -109,7 +109,11 @@ class AtomicUnit:
         service = dram.access(addr, is_write=is_write, now=start) + ALU_CYCLES
         self._next_free = start + service
         self.visits += 1
-        self.mech.stats.sync_memory_accesses += 1
+        stats = self.mech.stats
+        stats.sync_memory_accesses += 1
+        tenant = stats.active
+        if tenant is not None:
+            tenant.sync_memory_accesses += 1
         return start, start + service
 
 
@@ -141,6 +145,9 @@ class RemoteAtomicsMechanism(MechanismBase):
     ) -> None:
         """Visit ``var``'s atomic unit; ``callback(old_value)`` fires when
         the response reaches the core.  ``fn=None`` is a pure load."""
+        # Spin retries re-enter here from scheduled events, so re-establish
+        # the requesting core's tenant as the attribution context.
+        self.stats.active = getattr(core, "tstats", None)
         home = var.unit
         now = self.sim.now
         if core.unit_id == home:
@@ -177,7 +184,7 @@ class RemoteAtomicsMechanism(MechanismBase):
     # Mechanism interface
     # ------------------------------------------------------------------
     def request(self, core, op, var, info, callback) -> None:
-        self.stats.sync_requests_total += 1
+        self._admit(core, op, var)
         if op == LOCK_ACQUIRE:
             self._lock_acquire(core, var, callback)
         elif op == LOCK_RELEASE:
@@ -210,8 +217,8 @@ class RemoteAtomicsMechanism(MechanismBase):
 
     def request_async(self, core, op, var, info) -> int:
         # Releases are fire-and-forget: the rmw travels, nobody waits.
-        self.request(core, op, var, info, callback=lambda: None)
-        return 1
+        self.request(core, op, var, info, callback=_no_waiter)
+        return self.config.async_issue_cycles
 
     # ------------------------------------------------------------------
     # Lock: test-and-set spin

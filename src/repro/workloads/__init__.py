@@ -8,13 +8,16 @@ from repro.workloads.base import (
     scale,
     scaled,
 )
+from repro.workloads.corun import CorunWorkload, TenantSpec
 from repro.workloads.microbench import PRIMITIVES, PrimitiveMicrobench
 from repro.workloads.timeseries import TimeSeriesWorkload
 
 __all__ = [
+    "CorunWorkload",
     "PRIMITIVES",
     "PrimitiveMicrobench",
     "RunMetrics",
+    "TenantSpec",
     "TimeSeriesWorkload",
     "Workload",
     "collect_metrics",

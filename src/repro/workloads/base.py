@@ -89,7 +89,14 @@ class RunMetrics:
         return self.bytes_inside_units + self.bytes_across_units
 
     def speedup_over(self, other: "RunMetrics") -> float:
-        """Makespan speedup of self relative to ``other``."""
+        """Makespan speedup of self relative to ``other``.
+
+        A zero-cycle baseline is a degenerate comparison (the old code
+        quietly returned ``0.0``, reading as "infinitely slower"): two empty
+        runs compare equal, an empty baseline against real work is NaN.
+        """
+        if other.cycles == 0:
+            return 1.0 if self.cycles == 0 else float("nan")
         if self.cycles == 0:
             return float("inf")
         return other.cycles / self.cycles

@@ -79,9 +79,13 @@ class DataStructureWorkload(Workload):
     # ------------------------------------------------------------------
     def build(self, system: NDPSystem) -> Dict[int, object]:
         self.setup(system)
+        # core_program receives the core's dense index within system.cores
+        # (equal to its global core id on a whole-machine system, but not on
+        # a tenant slice of one) so per-core target lists and
+        # ``system.cores[...]`` lookups stay valid under co-runs.
         programs = {
-            core.core_id: self.core_program(system, core.core_id)
-            for core in system.cores
+            core.core_id: self.core_program(system, index)
+            for index, core in enumerate(system.cores)
         }
         self._total_ops = self.ops_per_core * len(programs)
         return programs
@@ -90,6 +94,7 @@ class DataStructureWorkload(Workload):
         raise NotImplementedError
 
     def core_program(self, system: NDPSystem, core_id: int):
+        """Program for ``system.cores[core_id]`` (a dense index, see build)."""
         raise NotImplementedError
 
     def operations(self) -> int:

@@ -204,3 +204,75 @@ class TestFlatSpecifics:
 
         system.run_programs({0: waiter(), 1: waiter(), 2: signaler()})
         assert state["woken"] == 2
+
+
+class TestServerShadowState:
+    """ServerEngine._state_address: where a software server keeps its
+    bookkeeping for a variable (satellite coverage — previously untested)."""
+
+    def _hier_server(self, tiny_config, unit=0):
+        system = build_system(tiny_config, "hier")
+        return system, system.mechanism.ses[unit]
+
+    def test_master_server_uses_the_variable_itself(self, tiny_config):
+        system, server = self._hier_server(tiny_config, unit=0)
+        var = system.create_syncvar(unit=0)
+        assert server._state_address(var) == var.addr
+
+    def test_non_master_shadow_lands_in_servers_own_unit(self, tiny_config):
+        system, server = self._hier_server(tiny_config, unit=0)
+        var = system.create_syncvar(unit=1)  # master is SE 1, not SE 0
+        shadow = server._state_address(var)
+        assert shadow != var.addr
+        assert system.addrmap.unit_of(shadow) == 0
+        # line-granular, line-aligned allocation
+        assert shadow % system.config.cache_line_bytes == 0
+
+    def test_shadow_reused_across_requests(self, tiny_config):
+        system, server = self._hier_server(tiny_config, unit=0)
+        var = system.create_syncvar(unit=1)
+        first = server._state_address(var)
+        used_after_first = system.addrmap.bytes_used(0)
+        assert server._state_address(var) == first
+        assert system.addrmap.bytes_used(0) == used_after_first
+        # distinct variables get distinct shadows
+        other = system.create_syncvar(unit=1)
+        assert server._state_address(other) != first
+
+    def test_shadow_access_charged_through_server_l1(self, tiny_config):
+        system, server = self._hier_server(tiny_config, unit=0)
+        var = system.create_syncvar(unit=1)
+        stats = system.stats
+        hits0, misses0 = stats.cache_hits, stats.cache_misses
+        server._extra = 0
+        server._charge_state_access(var)
+        # cold: the shadow line misses in the server's private L1
+        assert stats.cache_misses > misses0
+        cold_extra = server._extra
+        assert cold_extra > 0
+        hits1 = stats.cache_hits
+        server._extra = 0
+        server._charge_state_access(var)
+        # warm: same line now hits, and the handler gets cheaper
+        assert stats.cache_hits > hits1
+        assert 0 < server._extra < cold_extra
+
+    def test_hier_run_allocates_shadows_for_remote_vars(self, tiny_config):
+        """End-to-end: unit-0 clients locking a unit-1 variable make SE 0
+        keep non-master bookkeeping in unit 0's memory."""
+        system = build_system(tiny_config, "hier")
+        var = system.create_syncvar(unit=1, name="remote_lock")
+        done = {"count": 0}
+
+        def worker():
+            yield api.lock_acquire(var)
+            done["count"] += 1
+            yield api.lock_release(var)
+
+        unit0 = [c for c in system.cores if c.unit_id == 0]
+        system.run_programs({c.core_id: worker() for c in unit0})
+        assert done["count"] == len(unit0)
+        local_server = system.mechanism.ses[0]
+        shadow = local_server._shadow.get(var.addr)
+        assert shadow is not None
+        assert system.addrmap.unit_of(shadow) == 0

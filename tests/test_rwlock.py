@@ -252,6 +252,11 @@ class TestRWLockProtocolErrors:
             )
 
     def test_mixing_rwlock_with_lock_ops_raises(self, tiny_config):
+        # The single-use rule is enforced by the shared admission check
+        # (SyncUsageError, of which ProtocolError is a subclass) for every
+        # mechanism, not just SynCron's engine.
+        from repro.sim.syncif import SyncUsageError
+
         system = build_system(tiny_config, "syncron")
         var = system.create_syncvar(name="X")
 
@@ -260,7 +265,7 @@ class TestRWLockProtocolErrors:
             yield api.lock_release(var)
 
         core = system.cores[0]
-        with pytest.raises(ProtocolError):
+        with pytest.raises(SyncUsageError):
             system.run_programs({core.core_id: worker()})
 
 

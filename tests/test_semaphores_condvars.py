@@ -158,7 +158,9 @@ class TestConditionVariable:
 
 class TestVariableKinds:
     def test_variable_cannot_change_primitive(self, tiny_system):
-        from repro.core.protocol import ProtocolError
+        # Enforced by the shared admission check (every mechanism, not just
+        # SynCron's engine); ProtocolError subclasses SyncUsageError.
+        from repro.sim.syncif import SyncUsageError
 
         var = tiny_system.create_syncvar()
 
@@ -167,5 +169,5 @@ class TestVariableKinds:
             yield api.lock_release(var)
             yield api.sem_wait(var, 1)
 
-        with pytest.raises(ProtocolError):
+        with pytest.raises(SyncUsageError):
             tiny_system.run_programs({0: program()})
