@@ -1,18 +1,23 @@
-"""Sweep-orchestration benchmark: wall-clock at --jobs 1/2/4 + warm cache.
+"""Sweep-orchestration benchmark: pull-based workers, warm store, crashes.
 
 Run directly::
 
     PYTHONPATH=src python benchmarks/bench_sweep.py [--output BENCH_sweep.json]
 
 Times a fixed Fig. 12 subset (4 app-input combos x 4 mechanisms = 16
-independent simulations) through the spec-driven runner at 1, 2, and 4
-worker processes, then once more against a warm result cache.  This
-captures the *orchestration* speedup trajectory — how much of the
-embarrassingly-parallel scenario matrix the harness actually exploits —
-complementing ``bench_kernel.py``'s single-simulation events/sec.
+independent simulations) through the pull-based work-queue executor at
+1, 2, and 4 workers — each against a fresh content-addressed store —
+then once more against a warm store (zero simulations at any worker
+count), and finally a crash-and-reclaim scenario where a quarter of the
+matrix starts out leased to a dead worker and a lone survivor must
+reclaim and finish it.
 
-Rows are asserted bit-identical across job counts (the runner's core
-guarantee) before any number is reported.
+Rows are asserted bit-identical across worker counts (the executor's
+core guarantee) before any number is reported.  Worker speedup is
+bounded by the host's core count: the assertion that extra workers help
+is gated on ``cpu_count > 1``, and single-core hosts are annotated
+rather than failed — on one core the pull loop's coordination overhead
+is the honest number.
 """
 
 from __future__ import annotations
@@ -30,19 +35,26 @@ if str(REPO_ROOT / "src") not in sys.path:
     sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.harness import runner as runner_mod  # noqa: E402
-from repro.harness.experiments import fig12  # noqa: E402
-from repro.harness.runner import execution_options  # noqa: E402
+from repro.harness.experiments import _app_spec, fig12  # noqa: E402
+from repro.harness.runner import execution_options, run_specs  # noqa: E402
+from repro.harness.store import LeaseBoard  # noqa: E402
 
 #: the fixed Fig. 12 subset (one graph kernel per contention flavour + ts).
 COMBOS = ("bfs.wk", "cc.sl", "tc.wk", "ts.air")
 MECHANISMS = ("central", "hier", "syncron", "ideal")
-JOB_STEPS = (1, 2, 4)
+WORKER_STEPS = (1, 2, 4)
+MATRIX = len(COMBOS) * len(MECHANISMS)
 
 
-def _timed_fig12(jobs: int, cache: bool, cache_dir: str) -> tuple:
+def _subset_specs():
+    return [_app_spec(combo, mech)
+            for combo in COMBOS for mech in MECHANISMS]
+
+
+def _timed_fig12(workers: int, store: str) -> tuple:
     runner_mod.STATS.reset()
     start = time.perf_counter()
-    with execution_options(jobs=jobs, cache=cache, cache_dir=cache_dir):
+    with execution_options(workers=workers, cache=True, store=store):
         rows = fig12(combos=COMBOS, mechanisms=MECHANISMS)
     elapsed = time.perf_counter() - start
     return rows, elapsed, runner_mod.STATS.executed
@@ -53,60 +65,115 @@ def main(argv=None) -> int:
     parser.add_argument("--output", default=None,
                         help="write results as JSON to this path")
     parser.add_argument("--repeats", type=int, default=3,
-                        help="timed repetitions per job count (best is kept)")
+                        help="timed repetitions per worker count (best kept)")
     args = parser.parse_args(argv)
 
+    cpu_count = os.cpu_count() or 1
     results = {
         "benchmark": "sweep_orchestration",
         "subset": {"figure": "fig12", "combos": list(COMBOS),
-                   "mechanisms": list(MECHANISMS),
-                   "simulations": len(COMBOS) * len(MECHANISMS)},
-        # --jobs speedup is bounded by the host's core count; record it so
+                   "mechanisms": list(MECHANISMS), "simulations": MATRIX},
+        # worker speedup is bounded by the host's core count; record it so
         # the trajectory is interpretable across machines.
-        "cpu_count": os.cpu_count(),
-        "jobs": {},
+        "cpu_count": cpu_count,
+        "workers": {},
     }
+    if cpu_count == 1:
+        results["parallelism"] = "not measurable (cpu_count=1)"
 
     baseline_rows = None
     serial_seconds = None
-    with tempfile.TemporaryDirectory(prefix="bench-sweep-cache-") as cache_dir:
-        for jobs in JOB_STEPS:
+    with tempfile.TemporaryDirectory(prefix="bench-sweep-store-") as top:
+        top = Path(top)
+        fresh = 0
+        for workers in WORKER_STEPS:
             best = None
             for _ in range(args.repeats):
-                rows, elapsed, executed = _timed_fig12(jobs, cache=False,
-                                                       cache_dir=cache_dir)
-                assert executed == len(COMBOS) * len(MECHANISMS)
+                # a fresh store per repetition: every simulation is cold.
+                fresh += 1
+                store = f"shared:{top / f'cold{fresh}'}"
+                rows, elapsed, executed = _timed_fig12(workers, store)
+                if executed != MATRIX:
+                    raise AssertionError(
+                        f"cold run executed {executed}/{MATRIX} simulations"
+                    )
                 if baseline_rows is None:
                     baseline_rows = rows
                 elif rows != baseline_rows:
                     raise AssertionError(
-                        f"--jobs {jobs} rows differ from serial rows"
+                        f"--workers {workers} rows differ from serial rows"
                     )
                 best = elapsed if best is None else min(best, elapsed)
             if serial_seconds is None:
                 serial_seconds = best
-            results["jobs"][str(jobs)] = {
+            results["workers"][str(workers)] = {
                 "seconds": round(best, 4),
-                "speedup_vs_jobs1": round(serial_seconds / best, 3),
+                "speedup_vs_serial": round(serial_seconds / best, 3),
             }
-            print(f"--jobs {jobs}: {best:.3f}s "
+            print(f"--workers {workers}: {best:.3f}s "
                   f"({serial_seconds / best:.2f}x vs serial)")
+        if cpu_count > 1:
+            top_speedup = max(row["speedup_vs_serial"]
+                              for row in results["workers"].values())
+            if top_speedup < 1.05:
+                raise AssertionError(
+                    f"no worker speedup on a {cpu_count}-core host "
+                    f"(best {top_speedup:.2f}x)"
+                )
 
-        # warm cache: zero simulations, pure orchestration overhead.
-        _timed_fig12(1, cache=True, cache_dir=cache_dir)  # populate
-        rows, elapsed, executed = _timed_fig12(1, cache=True,
-                                               cache_dir=cache_dir)
-        if executed != 0:
-            raise AssertionError("warm-cache run executed simulations")
-        if rows != baseline_rows:
-            raise AssertionError("warm-cache rows differ from simulated rows")
-        results["warm_cache"] = {
+        # warm store: zero simulations at any worker count.
+        warm_store = f"shared:{top / 'warm'}"
+        _timed_fig12(1, warm_store)  # populate
+        for workers in (1, max(WORKER_STEPS)):
+            rows, elapsed, executed = _timed_fig12(workers, warm_store)
+            if executed != 0:
+                raise AssertionError(
+                    f"warm run at --workers {workers} executed {executed}"
+                )
+            if rows != baseline_rows:
+                raise AssertionError("warm rows differ from simulated rows")
+            results[f"warm_workers{workers}"] = {
+                "seconds": round(elapsed, 4),
+                "speedup_vs_serial": round(serial_seconds / elapsed, 1),
+                "simulations_executed": 0,
+            }
+            print(f"warm --workers {workers}: {elapsed:.3f}s "
+                  f"({serial_seconds / elapsed:.0f}x vs serial), 0 simulated")
+
+        # crash-and-reclaim: a dead worker left expired leases on a quarter
+        # of the matrix; one survivor reclaims them and drains everything.
+        crash_root = top / "crash"
+        specs = _subset_specs()
+        board = LeaseBoard(crash_root, ttl=60.0)
+        abandoned = [spec.cache_key() for spec in specs[::4]]
+        for key in abandoned:
+            board.claim(key, "crashed", ttl=0.0)  # already expired
+        runner_mod.STATS.reset()
+        start = time.perf_counter()
+        rows = run_specs(specs, cache=True, store=f"shared:{crash_root}",
+                         worker_id="survivor", lease_ttl=0.5)
+        elapsed = time.perf_counter() - start
+        if runner_mod.STATS.executed != MATRIX:
+            raise AssertionError("crash scenario did not drain the matrix")
+        if runner_mod.STATS.reclaimed != len(abandoned):
+            raise AssertionError(
+                f"expected {len(abandoned)} reclaimed leases, got "
+                f"{runner_mod.STATS.reclaimed}"
+            )
+        if [r.as_dict() if hasattr(r, "as_dict") else r for r in rows] != [
+                r.as_dict() if hasattr(r, "as_dict") else r
+                for r in run_specs(specs, cache=True,
+                                   store=f"shared:{crash_root}")]:
+            raise AssertionError("post-crash rows differ from warm rows")
+        results["crash_and_reclaim"] = {
             "seconds": round(elapsed, 4),
-            "speedup_vs_jobs1": round(serial_seconds / elapsed, 1),
-            "simulations_executed": 0,
+            "abandoned_leases": len(abandoned),
+            "leases_reclaimed": runner_mod.STATS.reclaimed,
+            "simulations_executed": runner_mod.STATS.executed,
         }
-        print(f"warm cache: {elapsed:.3f}s "
-              f"({serial_seconds / elapsed:.0f}x vs serial), 0 simulated")
+        print(f"crash-and-reclaim: {elapsed:.3f}s, "
+              f"{runner_mod.STATS.reclaimed} leases reclaimed, "
+              f"{runner_mod.STATS.executed} simulated")
 
     if args.output:
         Path(args.output).write_text(json.dumps(results, indent=2) + "\n")

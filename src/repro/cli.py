@@ -22,12 +22,15 @@
 Each ``run`` target calls the corresponding function in
 :mod:`repro.harness.experiments` / :mod:`repro.harness.motivation` /
 :mod:`repro.harness.ablations` and prints its rows as a text table;
-``--plot`` adds a terminal chart in the figure's shape.  ``--jobs N`` fans
-the figure's simulations across N worker processes; results are cached in
+``--plot`` adds a terminal chart in the figure's shape.  ``--workers N``
+(alias ``--jobs``) drains the figure's simulations through N pull-based
+worker processes; results land in a content-addressed store under
 ``$REPRO_CACHE_DIR`` (default ``.repro-cache/``) so re-runs only simulate
-cache misses (``--no-cache`` disables that).  ``sweep`` composes scenario
-matrices no figure hard-codes: any workload set x mechanisms x swept
-SystemConfig fields.
+misses (``--no-cache`` disables that, ``--store shared:PATH --worker-id X``
+lets independent invocations on one shared volume cooperate with
+exactly-once execution).  ``sweep`` composes scenario matrices no figure
+hard-codes: any workload set x mechanisms x swept SystemConfig fields;
+``cache`` inspects and maintains the store (stats/verify/gc/migrate).
 """
 
 from __future__ import annotations
@@ -157,6 +160,18 @@ def _print_result(name: str, result) -> None:
         print(format_table(result, title=name))
 
 
+def _runner_options(args) -> Dict:
+    """The execution_options kwargs every runner-flagged subcommand shares."""
+    return {
+        "workers": args.workers,
+        "cache": not args.no_cache,
+        "cache_dir": args.cache_dir,
+        "store": args.store,
+        "worker_id": args.worker_id,
+        "lease_ttl": args.lease_ttl,
+    }
+
+
 def cmd_list(_args) -> int:
     print(f"{'experiment':10s} description")
     print("-" * 60)
@@ -186,8 +201,7 @@ def cmd_run(args) -> int:
         print(f"{name} needs --arg {_POSITIONAL[name]}=...", file=sys.stderr)
         return 2
     STATS.reset()
-    with execution_options(jobs=args.jobs, cache=not args.no_cache,
-                           cache_dir=args.cache_dir):
+    with execution_options(**_runner_options(args)):
         result = fn(**kwargs)
     _print_result(name, result)
     print(f"[runner] {STATS.summary()}", file=sys.stderr)
@@ -255,7 +269,7 @@ def cmd_sweep(args) -> int:
 
     if args.dry_run:
         with execution_options(cache=not args.no_cache,
-                               cache_dir=args.cache_dir):
+                               cache_dir=args.cache_dir, store=args.store):
             statuses = probe_specs([spec for _label, spec in labeled])
         rows = [
             {"run": spec.describe(), "status": status}
@@ -272,8 +286,7 @@ def cmd_sweep(args) -> int:
         return 0
 
     STATS.reset()
-    with execution_options(jobs=args.jobs, cache=not args.no_cache,
-                           cache_dir=args.cache_dir):
+    with execution_options(**_runner_options(args)):
         results = run_sweep(SweepSpec.of(
             "cli_sweep", (spec for _label, spec in labeled)))
 
@@ -332,8 +345,7 @@ def cmd_corun(args) -> int:
 
     STATS.reset()
     status = 0
-    with execution_options(jobs=args.jobs, cache=not args.no_cache,
-                           cache_dir=args.cache_dir):
+    with execution_options(**_runner_options(args)):
         try:
             if args.check_isolation:
                 if unit_split or core_split:
@@ -373,6 +385,49 @@ def cmd_corun(args) -> int:
     return status
 
 
+# ----------------------------------------------------------------------
+# cache: inspect and maintain the content-addressed result store
+# ----------------------------------------------------------------------
+def cmd_cache(args) -> int:
+    import json as _json
+    import os as _os
+
+    from repro.harness.store import StoreError, open_store
+
+    url = args.store or "dir:" + str(
+        args.cache_dir or _os.environ.get("REPRO_CACHE_DIR", ".repro-cache"))
+    try:
+        store = open_store(url)
+        if args.action == "stats":
+            report = store.stats()
+        elif args.action == "verify":
+            report = store.verify()
+        elif args.action == "gc":
+            report = store.gc()
+        elif args.action == "migrate":
+            # opening the store already ingested a results.jsonl sitting in
+            # its own directory; --source ingests an arbitrary legacy file.
+            ingested = store.migrated
+            if args.source:
+                ingested += store.ingest_jsonl(args.source,
+                                               rename=not args.keep_source)
+            report = {"backend": store.scheme, "ingested": ingested,
+                      "entries": len(store)}
+    except StoreError as exc:
+        print(f"cache: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(_json.dumps(report, indent=2, sort_keys=True))
+    else:
+        for key, value in report.items():
+            print(f"{key:18s} {value}")
+    if args.action == "verify" and report["corrupt"]:
+        print(f"cache: {len(report['corrupt'])} corrupt entries quarantined",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def cmd_quickstart(_args) -> int:
     from repro import NDPSystem, api, ndp_2_5d
     from repro.sim import Compute
@@ -404,13 +459,27 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("list", help="list reproducible tables/figures")
 
     def add_runner_flags(cmd):
-        cmd.add_argument("--jobs", type=int, default=1, metavar="N",
-                         help="worker processes for the sweep runner (default 1)")
+        cmd.add_argument("--workers", "--jobs", dest="workers", type=int,
+                         default=1, metavar="N",
+                         help="pull-based worker processes draining the sweep "
+                              "(default 1; --jobs is the legacy alias)")
         cmd.add_argument("--no-cache", action="store_true",
-                         help="ignore and don't write the on-disk result cache")
+                         help="ignore and don't write the on-disk result store")
         cmd.add_argument("--cache-dir", default=None, metavar="DIR",
-                         help="result-cache directory (default $REPRO_CACHE_DIR "
+                         help="result-store directory (default $REPRO_CACHE_DIR "
                               "or .repro-cache)")
+        cmd.add_argument("--store", default=None, metavar="URL",
+                         help="result-store backend: memory:, dir:PATH, or "
+                              "shared:PATH (default dir:<cache-dir>)")
+        cmd.add_argument("--worker-id", default=None, metavar="ID",
+                         help="join a cooperative drain under this identity: "
+                              "independent invocations (other processes or "
+                              "hosts) pointed at one shared store execute "
+                              "each spec exactly once")
+        cmd.add_argument("--lease-ttl", type=float, default=None, metavar="SEC",
+                         help="seconds before an unreleased claim from a "
+                              "crashed worker is re-run by survivors "
+                              "(default 60)")
 
     run = sub.add_parser("run", help="run one experiment and print its table")
     run.add_argument("experiment", help="e.g. fig11, table1, ext_rwlock")
@@ -478,6 +547,29 @@ def build_parser() -> argparse.ArgumentParser:
                             "bit-identical to the plain run (exit 1 if not)")
     add_runner_flags(corun)
 
+    cache = sub.add_parser(
+        "cache",
+        help="inspect/maintain the content-addressed result store",
+    )
+    cache.add_argument("action",
+                       choices=("stats", "verify", "gc", "migrate"),
+                       help="stats: entries/bytes/shards; verify: re-hash "
+                            "entries and quarantine corruption; gc: drop "
+                            "stale-version entries, dead leases, abandoned "
+                            "temp files; migrate: ingest a legacy "
+                            "results.jsonl")
+    cache.add_argument("--store", default=None, metavar="URL",
+                       help="store url (default dir:<cache-dir>)")
+    cache.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="store directory (default $REPRO_CACHE_DIR or "
+                            ".repro-cache)")
+    cache.add_argument("--source", default=None, metavar="JSONL",
+                       help="migrate: an explicit legacy results.jsonl path")
+    cache.add_argument("--keep-source", action="store_true",
+                       help="migrate: don't rename the ingested file")
+    cache.add_argument("--json", action="store_true",
+                       help="machine-readable output")
+
     sub.add_parser("quickstart", help="run the README quickstart")
     return parser
 
@@ -485,7 +577,8 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: List[str] = None) -> int:
     args = build_parser().parse_args(argv)
     handler = {"list": cmd_list, "run": cmd_run, "sweep": cmd_sweep,
-               "corun": cmd_corun, "quickstart": cmd_quickstart}
+               "corun": cmd_corun, "cache": cmd_cache,
+               "quickstart": cmd_quickstart}
     return handler[args.command](args)
 
 

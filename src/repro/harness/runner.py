@@ -1,20 +1,32 @@
-"""Sweep execution: parallel workers + on-disk result cache.
+"""Sweep execution: pull-based multi-worker executor + content store.
 
 Every harness figure and the CLI ``sweep`` subcommand funnel through
 :func:`run_sweep` / :func:`run_specs`: specs are deduplicated by cache key,
-cache hits are served from a JSONL file, and only the misses are simulated —
-serially, or across ``jobs`` worker processes.  Because every simulation is
+hits are served from a content-addressed :class:`~repro.harness.store.ResultStore`,
+and only the misses are simulated.  Because every simulation is
 deterministic (explicit seeds everywhere — see
-:func:`repro.workloads.base.stable_name_seed`), parallel and serial
-execution produce bit-identical rows, and a warm-cache re-run executes zero
-simulations.
+:func:`repro.workloads.base.stable_name_seed`), any worker layout produces
+bit-identical rows, and a warm-store re-run executes zero simulations.
 
-The cache lives at ``$REPRO_CACHE_DIR/results.jsonl`` (default
-``.repro-cache/``).  Keys cover the full resolved
+Execution is a **pull-based work queue**, not an up-front partition: every
+worker process sees the whole pending matrix and repeatedly (1) skips keys
+whose result already landed in the store, (2) claims one key on the
+:class:`~repro.harness.store.LeaseBoard`, (3) simulates it, (4) publishes
+the result durably, then releases the lease.  Slow specs therefore never
+serialize a whole chunk behind one worker, a crashed worker's claims
+expire and are re-run by survivors, and N *independent processes or
+hosts* pointed at one shared store (``--store shared:/mnt/x
+--worker-id host1``) drain a matrix cooperatively with exactly-once
+execution — duplicate completions are resolved by the store's
+first-durable-write-wins rule with bit-identity verification.
+
+The default store is ``dir:$REPRO_CACHE_DIR`` (default ``.repro-cache/``),
+sharded one-file-per-result; a legacy PR-2 ``results.jsonl`` found there is
+ingested transparently.  Keys cover the full resolved
 :class:`~repro.sim.config.SystemConfig`, workload kwargs, mechanism, seed
-and scale — but NOT the simulator's code, so delete the directory (or pass
-``--no-cache``) after changing simulation behaviour; bumping
-:data:`repro.harness.specs.CACHE_FORMAT_VERSION` does the same globally.
+and scale — but NOT the simulator's code, so run ``repro cache gc`` after
+bumping :data:`repro.harness.specs.CACHE_FORMAT_VERSION` (or delete the
+directory / pass ``--no-cache``) when simulation behaviour changes.
 
 Caching defaults OFF for library calls (tests must never observe stale
 physics) and ON in the CLI.
@@ -23,14 +35,22 @@ physics) and ON in the CLI.
 from __future__ import annotations
 
 import contextlib
-import json
 import multiprocessing
 import os
-from dataclasses import dataclass, field
+import shutil
+import tempfile
+import time
+from dataclasses import dataclass, field, replace
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
-from repro.harness.specs import CACHE_FORMAT_VERSION, RunSpec, SweepSpec
+from repro.harness.specs import RunSpec, SweepSpec
+from repro.harness.store import (
+    LeaseBoard,
+    ResultStore,
+    SharedVolumeStore,
+    open_store,
+)
 from repro.workloads.base import RunMetrics, run_workload
 
 #: what a run produces: RunMetrics for workload specs, a plain dict for
@@ -39,15 +59,29 @@ RunResult = Union[RunMetrics, Dict]
 
 
 # ----------------------------------------------------------------------
-# Execution options (how the CLI hands --jobs/--no-cache to figure code)
+# Execution options (how the CLI hands --workers/--store to figure code)
 # ----------------------------------------------------------------------
 @dataclass
 class ExecutionOptions:
     """Active sweep-execution policy; figures read it via the module state."""
 
-    jobs: int = 1
+    workers: int = 1
     cache: bool = False
     cache_dir: Optional[str] = None
+    #: store url (``memory:`` / ``dir:PATH`` / ``shared:PATH``); None =
+    #: a sharded dir store on :meth:`resolved_cache_dir`.
+    store: Optional[str] = None
+    #: stable identity for cooperative drains across processes/hosts;
+    #: setting it routes even single-worker runs through the claim
+    #: protocol so independent invocations never double-execute.
+    worker_id: Optional[str] = None
+    #: seconds before an unreleased claim is considered dead and re-run.
+    lease_ttl: float = 60.0
+
+    # Back-compat alias: PR-2 called worker processes "jobs".
+    @property
+    def jobs(self) -> int:
+        return self.workers
 
     def resolved_cache_dir(self) -> Path:
         return Path(
@@ -55,21 +89,42 @@ class ExecutionOptions:
             or os.environ.get("REPRO_CACHE_DIR", ".repro-cache")
         )
 
+    def resolved_store_url(self) -> str:
+        return self.store or f"dir:{self.resolved_cache_dir()}"
+
 
 _OPTIONS = ExecutionOptions()
+
+#: ExecutionOptions fields settable through the helpers below.
+_OPTION_FIELDS = ("workers", "cache", "cache_dir", "store", "worker_id",
+                  "lease_ttl")
 
 
 def set_execution_options(jobs: Optional[int] = None,
                           cache: Optional[bool] = None,
-                          cache_dir: Optional[str] = None) -> None:
-    if jobs is not None:
-        if jobs < 1:
-            raise ValueError("jobs must be >= 1")
-        _OPTIONS.jobs = jobs
+                          cache_dir: Optional[str] = None,
+                          store: Optional[str] = None,
+                          worker_id: Optional[str] = None,
+                          lease_ttl: Optional[float] = None,
+                          workers: Optional[int] = None) -> None:
+    if workers is None:
+        workers = jobs
+    if workers is not None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        _OPTIONS.workers = workers
     if cache is not None:
         _OPTIONS.cache = cache
     if cache_dir is not None:
         _OPTIONS.cache_dir = cache_dir
+    if store is not None:
+        _OPTIONS.store = store or None
+    if worker_id is not None:
+        _OPTIONS.worker_id = worker_id or None
+    if lease_ttl is not None:
+        if lease_ttl <= 0:
+            raise ValueError("lease_ttl must be > 0")
+        _OPTIONS.lease_ttl = lease_ttl
 
 
 def get_execution_options() -> ExecutionOptions:
@@ -78,20 +133,25 @@ def get_execution_options() -> ExecutionOptions:
 
 @contextlib.contextmanager
 def execution_options(jobs: Optional[int] = None, cache: Optional[bool] = None,
-                      cache_dir: Optional[str] = None):
+                      cache_dir: Optional[str] = None,
+                      store: Optional[str] = None,
+                      worker_id: Optional[str] = None,
+                      lease_ttl: Optional[float] = None,
+                      workers: Optional[int] = None):
     """Temporarily override the active execution policy."""
-    previous = ExecutionOptions(_OPTIONS.jobs, _OPTIONS.cache, _OPTIONS.cache_dir)
+    previous = replace(_OPTIONS)
     try:
-        set_execution_options(jobs=jobs, cache=cache, cache_dir=cache_dir)
+        set_execution_options(jobs=jobs, cache=cache, cache_dir=cache_dir,
+                              store=store, worker_id=worker_id,
+                              lease_ttl=lease_ttl, workers=workers)
         yield _OPTIONS
     finally:
-        _OPTIONS.jobs = previous.jobs
-        _OPTIONS.cache = previous.cache
-        _OPTIONS.cache_dir = previous.cache_dir
+        for name in _OPTION_FIELDS:
+            setattr(_OPTIONS, name, getattr(previous, name))
 
 
 # ----------------------------------------------------------------------
-# Stats (lets the CLI and tests observe hit/miss behaviour)
+# Stats (lets the CLI and tests observe hit/miss/reclaim behaviour)
 # ----------------------------------------------------------------------
 @dataclass
 class RunnerStats:
@@ -101,6 +161,10 @@ class RunnerStats:
     executed: int = 0
     cache_hits: int = 0
     deduplicated: int = 0
+    #: expired leases taken over from crashed/wedged workers.
+    reclaimed: int = 0
+    #: specs another cooperating worker completed while we were draining.
+    completed_elsewhere: int = 0
     sweeps: List[str] = field(default_factory=list)
 
     def reset(self) -> None:
@@ -108,6 +172,8 @@ class RunnerStats:
         self.executed = 0
         self.cache_hits = 0
         self.deduplicated = 0
+        self.reclaimed = 0
+        self.completed_elsewhere = 0
         self.sweeps.clear()
 
     def summary(self) -> str:
@@ -115,62 +181,16 @@ class RunnerStats:
             f"{self.requested} runs: {self.executed} simulated, "
             f"{self.cache_hits} served from cache"
         )
+        if self.completed_elsewhere:
+            text += f", {self.completed_elsewhere} completed by other workers"
         if self.deduplicated:
             text += f", {self.deduplicated} deduplicated"
+        if self.reclaimed:
+            text += f", {self.reclaimed} leases reclaimed"
         return text
 
 
 STATS = RunnerStats()
-
-
-# ----------------------------------------------------------------------
-# Result cache (append-only JSONL keyed by spec hash)
-# ----------------------------------------------------------------------
-class ResultCache:
-    """One JSONL line per completed run; malformed lines are skipped."""
-
-    FILENAME = "results.jsonl"
-
-    def __init__(self, directory: Union[str, Path]):
-        self.directory = Path(directory)
-        self.path = self.directory / self.FILENAME
-        self._records: Dict[str, Dict] = {}
-        self._load()
-
-    def _load(self) -> None:
-        if not self.path.exists():
-            return
-        with open(self.path, "r", encoding="utf-8") as fh:
-            for line in fh:
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    record = json.loads(line)
-                except json.JSONDecodeError:
-                    continue  # corrupted line -> recompute, never crash
-                if (
-                    not isinstance(record, dict)
-                    or record.get("version") != CACHE_FORMAT_VERSION
-                    or "key" not in record
-                    or record.get("kind") not in ("metrics", "row")
-                    or not isinstance(record.get("result"), dict)
-                ):
-                    continue
-                self._records[record["key"]] = record
-
-    def __len__(self) -> int:
-        return len(self._records)
-
-    def get(self, key: str) -> Optional[Dict]:
-        return self._records.get(key)
-
-    def put(self, key: str, record: Dict) -> None:
-        record = {"version": CACHE_FORMAT_VERSION, "key": key, **record}
-        self._records[key] = record
-        self.directory.mkdir(parents=True, exist_ok=True)
-        with open(self.path, "a", encoding="utf-8") as fh:
-            fh.write(json.dumps(record, sort_keys=True) + "\n")
 
 
 # ----------------------------------------------------------------------
@@ -192,7 +212,7 @@ def _scale_env(scale: str):
 
 
 def execute_spec(spec: RunSpec) -> Dict:
-    """Run one spec and return its cache record body (kind + result)."""
+    """Run one spec and return its store record body (kind + result)."""
     with _scale_env(spec.scale):
         config = spec.config()
         if spec.is_measurement():
@@ -211,87 +231,227 @@ def _record_to_result(record: Dict) -> RunResult:
 
 
 # ----------------------------------------------------------------------
-# Sweep execution
+# The pull-based drain (claim -> execute -> publish -> release)
 # ----------------------------------------------------------------------
+#: how long an idle worker sleeps before re-scanning for completed
+#: results or expired leases.
+DRAIN_POLL_SECONDS = 0.02
+
+
+def drain(store: ResultStore, board: LeaseBoard,
+          work: Dict[str, RunSpec], worker: str,
+          poll: float = DRAIN_POLL_SECONDS) -> Dict[str, int]:
+    """Pull specs from ``work`` until every key has a durable result.
+
+    The loop makes no assumptions about who else is draining: any number
+    of processes/hosts can run it against the same store concurrently.
+    Returns this worker's counters (``executed`` / ``reclaimed`` /
+    ``completed_elsewhere``).
+    """
+    executed = reclaimed = elsewhere = 0
+    remaining = dict(work)
+    while remaining:
+        progressed = False
+        for key in list(remaining):
+            if store.get(key) is not None:
+                del remaining[key]
+                elsewhere += 1
+                progressed = True
+                continue
+            lease = board.claim(key, worker)
+            if lease is None:
+                continue  # validly held by another worker; come back later
+            if lease.reclaimed:
+                reclaimed += 1
+            # the result may have landed between the get and the claim
+            if store.get(key) is None:
+                store.put(key, execute_spec(remaining[key]))
+                executed += 1
+            else:
+                elsewhere += 1
+            board.release(key)
+            del remaining[key]
+            progressed = True
+        if remaining and not progressed:
+            time.sleep(poll)
+    return {"executed": executed, "reclaimed": reclaimed,
+            "completed_elsewhere": elsewhere}
+
+
+def _drain_worker(task: Tuple[str, str, float,
+                              Tuple[Tuple[str, RunSpec], ...]]) -> Dict[str, int]:
+    """Worker-process entry point: reopen the store by url and drain."""
+    store_url, worker, lease_ttl, work = task
+    store = open_store(store_url)
+    board = LeaseBoard(store.root, ttl=lease_ttl)
+    return drain(store, board, dict(work), worker)
+
+
 def _pool_context():
     methods = multiprocessing.get_all_start_methods()
     return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
 
 
+def _drain_parallel(store: ResultStore, work: Dict[str, RunSpec],
+                    workers: int, worker_id: str,
+                    lease_ttl: float) -> Dict[str, int]:
+    """Fan N pull-workers out as processes; every worker sees all keys."""
+    tasks = [
+        (store.url(), f"{worker_id}/{i}", lease_ttl, tuple(work.items()))
+        for i in range(min(workers, len(work)))
+    ]
+    with _pool_context().Pool(len(tasks)) as pool:
+        counters = pool.map(_drain_worker, tasks, chunksize=1)
+    totals = {"executed": 0, "reclaimed": 0}
+    for c in counters:
+        for name in totals:
+            totals[name] += c[name]
+    # A key our own pool executed reads as "completed elsewhere" to the
+    # pool's other members; only a shortfall against the whole work list
+    # means an external cooperator (another host/invocation) ran it.
+    totals["completed_elsewhere"] = max(0, len(work) - totals["executed"])
+    return totals
+
+
+# ----------------------------------------------------------------------
+# Sweep execution
+# ----------------------------------------------------------------------
 def run_specs(specs: Sequence[RunSpec], jobs: Optional[int] = None,
               cache: Optional[bool] = None,
-              cache_dir: Optional[str] = None) -> List[RunResult]:
+              cache_dir: Optional[str] = None,
+              store: Optional[str] = None,
+              workers: Optional[int] = None,
+              worker_id: Optional[str] = None,
+              lease_ttl: Optional[float] = None) -> List[RunResult]:
     """Execute specs (deduplicated) and return results in spec order.
 
-    ``jobs``/``cache`` default to the active :class:`ExecutionOptions`
-    (library default: serial, no cache).
+    All knobs default to the active :class:`ExecutionOptions` (library
+    default: one worker, no cache).  ``jobs`` is the PR-2 alias for
+    ``workers``.
     """
     options = get_execution_options()
-    jobs = options.jobs if jobs is None else jobs
+    if workers is None:
+        workers = jobs
+    workers = options.workers if workers is None else workers
     use_cache = options.cache if cache is None else cache
-    if jobs < 1:
-        raise ValueError("jobs must be >= 1")
+    worker_id = options.worker_id if worker_id is None else (worker_id or None)
+    lease_ttl = options.lease_ttl if lease_ttl is None else lease_ttl
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
 
     keys = [spec.cache_key() for spec in specs]
-    store = ResultCache(cache_dir or options.resolved_cache_dir()) if use_cache else None
+    result_store: Optional[ResultStore] = None
+    if use_cache:
+        if store is not None:
+            result_store = open_store(store)
+        elif cache_dir is not None:
+            result_store = open_store(directory=cache_dir)
+        else:
+            result_store = open_store(options.resolved_store_url())
 
     # Deduplicate: identical specs simulate once per sweep.  Hits are
     # materialized eagerly; a record that no longer matches the current
     # RunMetrics schema (stale cache after a code change without a
     # CACHE_FORMAT_VERSION bump) falls back to re-simulation.
     results_by_key: Dict[str, RunResult] = {}
-    pending: List[RunSpec] = []
-    pending_keys: List[str] = []
+    pending: Dict[str, RunSpec] = {}
     seen = set()
     for spec, key in zip(specs, keys):
         if key in seen:
             STATS.deduplicated += 1
             continue
         seen.add(key)
-        cached = store.get(key) if store is not None else None
+        cached = result_store.get(key) if result_store is not None else None
         if cached is not None:
             try:
                 results_by_key[key] = _record_to_result(cached)
             except (TypeError, KeyError, ValueError):
+                # intact entry, unreadable schema (code changed without a
+                # CACHE_FORMAT_VERSION bump): drop it so the recomputed
+                # result can be published without tripping the
+                # bit-identity check against the stale winner.
+                result_store.discard(key)
                 cached = None
             else:
                 STATS.cache_hits += 1
         if cached is None:
-            pending.append(spec)
-            pending_keys.append(key)
+            pending[key] = spec
 
-    if len(pending) > 1 and jobs > 1:
-        with _pool_context().Pool(min(jobs, len(pending))) as pool:
-            # chunksize=1: simulation times are heavily skewed (a ts combo
-            # can cost 50x a tc one), so batching chunks onto one worker
-            # serializes the tail.
-            bodies = pool.map(execute_spec, pending, chunksize=1)
+    coordinated = pending and (workers > 1 or worker_id is not None)
+    if not coordinated:
+        # Fast path: one private worker, no coordination overhead.
+        for key, spec in pending.items():
+            body = execute_spec(spec)
+            record = result_store.put(key, body) if result_store is not None \
+                else body
+            results_by_key[key] = _record_to_result(record)
+            STATS.executed += 1
     else:
-        bodies = [execute_spec(spec) for spec in pending]
-
-    for key, body in zip(pending_keys, bodies):
-        results_by_key[key] = _record_to_result(body)
-        STATS.executed += 1
-        if store is not None:
-            store.put(key, body)
+        scratch_dir = None
+        try:
+            if result_store is not None and result_store.root is not None:
+                drain_store = result_store
+            else:
+                # No durable store to coordinate through (cache off, or a
+                # memory store): workers meet in an ephemeral shared dir.
+                scratch_dir = tempfile.mkdtemp(prefix="repro-drain-")
+                drain_store = SharedVolumeStore(scratch_dir)
+            base_id = worker_id or f"pid{os.getpid()}"
+            if workers > 1:
+                counters = _drain_parallel(drain_store, pending, workers,
+                                           base_id, lease_ttl)
+            else:
+                board = LeaseBoard(drain_store.root, ttl=lease_ttl)
+                counters = drain(drain_store, board, pending, base_id)
+            STATS.executed += counters["executed"]
+            STATS.reclaimed += counters["reclaimed"]
+            STATS.completed_elsewhere += counters["completed_elsewhere"]
+            for key, spec in pending.items():
+                record = drain_store.get(key)
+                if record is None:  # pragma: no cover - drain guarantees it
+                    record = drain_store.put(key, execute_spec(spec))
+                    STATS.executed += 1
+                try:
+                    results_by_key[key] = _record_to_result(record)
+                except (TypeError, KeyError, ValueError):
+                    # another (older) worker wrote a schema we can't read;
+                    # recompute locally rather than fail the sweep.
+                    body = execute_spec(spec)
+                    results_by_key[key] = _record_to_result(body)
+                    STATS.executed += 1
+                    record = None
+                if (record is not None and result_store is not None
+                        and result_store is not drain_store):
+                    result_store.put(key, record)
+        finally:
+            if scratch_dir is not None:
+                shutil.rmtree(scratch_dir, ignore_errors=True)
 
     STATS.requested += len(specs)
     return [results_by_key[key] for key in keys]
 
 
 def probe_specs(specs: Sequence[RunSpec], cache: Optional[bool] = None,
-                cache_dir: Optional[str] = None) -> List[str]:
-    """Classify each spec against the cache WITHOUT executing anything.
+                cache_dir: Optional[str] = None,
+                store: Optional[str] = None) -> List[str]:
+    """Classify each spec against the store WITHOUT executing anything.
 
     Returns one status per spec, in order: ``"cached"`` (a valid result is
-    already on disk), ``"simulate"`` (a cold run would execute it), or
+    already durable), ``"simulate"`` (a cold run would execute it), or
     ``"duplicate"`` (an earlier spec in the sequence shares its cache key).
     This is the ``sweep --dry-run`` backend; with caching disabled every
     non-duplicate spec reports ``"simulate"``.
     """
     options = get_execution_options()
     use_cache = options.cache if cache is None else cache
-    store = ResultCache(cache_dir or options.resolved_cache_dir()) if use_cache else None
+    result_store: Optional[ResultStore] = None
+    if use_cache:
+        if store is not None:
+            result_store = open_store(store)
+        elif cache_dir is not None:
+            result_store = open_store(directory=cache_dir)
+        else:
+            result_store = open_store(options.resolved_store_url())
     statuses = []
     seen = set()
     for spec in specs:
@@ -300,7 +460,7 @@ def probe_specs(specs: Sequence[RunSpec], cache: Optional[bool] = None,
             statuses.append("duplicate")
             continue
         seen.add(key)
-        cached = store.get(key) if store is not None else None
+        cached = result_store.get(key) if result_store is not None else None
         if cached is not None:
             try:
                 _record_to_result(cached)
@@ -312,7 +472,13 @@ def probe_specs(specs: Sequence[RunSpec], cache: Optional[bool] = None,
 
 def run_sweep(sweep: SweepSpec, jobs: Optional[int] = None,
               cache: Optional[bool] = None,
-              cache_dir: Optional[str] = None) -> List[RunResult]:
+              cache_dir: Optional[str] = None,
+              store: Optional[str] = None,
+              workers: Optional[int] = None,
+              worker_id: Optional[str] = None,
+              lease_ttl: Optional[float] = None) -> List[RunResult]:
     """Execute a named sweep; results align with ``sweep.runs`` order."""
     STATS.sweeps.append(sweep.name)
-    return run_specs(sweep.runs, jobs=jobs, cache=cache, cache_dir=cache_dir)
+    return run_specs(sweep.runs, jobs=jobs, cache=cache, cache_dir=cache_dir,
+                     store=store, workers=workers, worker_id=worker_id,
+                     lease_ttl=lease_ttl)

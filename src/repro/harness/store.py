@@ -1,0 +1,820 @@
+"""Content-addressed result store: pluggable backends + lease coordination.
+
+Every completed simulation is stored as ONE immutable object keyed by the
+spec's SHA-256 cache key (:meth:`repro.harness.specs.RunSpec.cache_key`).
+Three backends implement the same :class:`ResultStore` interface:
+
+- :class:`MemoryStore` (``memory:``) — a plain dict; tests and throwaway
+  sweeps.
+- :class:`ShardedDirStore` (``dir:PATH``) — one JSON file per entry under
+  ``objects/<first-2-hex>/<key>.json`` (256-way hash-prefix fan-out).
+  Writes are atomic (temp file + ``os.link``), so readers never observe a
+  torn entry; a corrupted file is *quarantined* (moved aside and
+  recomputed), never a whole-cache loss the way one bad ``results.jsonl``
+  line region used to be.
+- :class:`SharedVolumeStore` (``shared:PATH``) — the same layout hardened
+  for concurrent writers from different processes/hosts on one shared
+  volume: per-shard ``flock`` serialization around the publish step plus
+  directory fsyncs so a completed entry is durable before its lease is
+  released.
+
+Duplicate completion of the same key is resolved deterministically: the
+FIRST durable write wins (``os.link`` onto the final name fails for
+everyone else), and later writers verify their result is bit-identical to
+the winner — any mismatch raises :class:`StoreIntegrityError`, because two
+byte-different results for one spec hash means the simulator broke its
+determinism contract.
+
+A store opened on a directory containing the legacy PR-2 ``results.jsonl``
+ingests every valid record into the sharded layout transparently and
+renames the file to ``results.jsonl.migrated`` (``repro cache migrate``
+does the same explicitly and reports counts).
+
+Work distribution uses the sibling :class:`LeaseBoard`: a claim /
+lease-expiry / complete protocol on lease files next to the objects, so N
+worker processes (or hosts) can drain one sweep matrix cooperatively with
+exactly-once execution — see :mod:`repro.harness.runner`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import string
+import tempfile
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Tuple, Union
+
+from repro.harness.specs import CACHE_FORMAT_VERSION
+
+LEGACY_FILENAME = "results.jsonl"
+OBJECTS_DIR = "objects"
+QUARANTINE_DIR = "quarantine"
+LEASES_DIR = "leases"
+LOCKS_DIR = "locks"
+SHARD_CHARS = 2
+
+#: record kinds the runner produces (RunMetrics vs measurement rows).
+RECORD_KINDS = ("metrics", "row")
+
+_HEX = set(string.hexdigits.lower())
+
+
+class StoreError(Exception):
+    """Misuse of the store layer (bad key, unknown backend, ...)."""
+
+
+class StoreIntegrityError(StoreError):
+    """Two byte-different results were produced for one content key."""
+
+
+# ----------------------------------------------------------------------
+# Records
+# ----------------------------------------------------------------------
+def canonical_bytes(record: Dict) -> bytes:
+    """The ONE serialized form of a record (bit-identity comparisons)."""
+    return json.dumps(record, sort_keys=True, separators=(",", ":")).encode("utf-8")
+
+
+def payload_digest(record: Dict) -> str:
+    """SHA-256 over the result payload (everything but the envelope)."""
+    payload = {k: v for k, v in record.items()
+               if k not in ("version", "key", "digest")}
+    return hashlib.sha256(canonical_bytes(payload)).hexdigest()
+
+
+def normalize_record(key: str, body: Dict) -> Dict:
+    """Body (kind/result/spec) -> full self-verifying record."""
+    payload = {k: v for k, v in body.items()
+               if k not in ("version", "key", "digest")}
+    record = {"version": CACHE_FORMAT_VERSION, "key": key, **payload}
+    record["digest"] = payload_digest(record)
+    return record
+
+
+def record_status(record, key: Optional[str] = None) -> str:
+    """Classify a decoded record: ``"ok"`` / ``"stale"`` / ``"corrupt"``.
+
+    ``stale`` means shape-valid but written under another
+    :data:`CACHE_FORMAT_VERSION` (``gc`` drops these); everything
+    unusable for any version is ``corrupt`` (quarantined on sight).
+    """
+    if (
+        not isinstance(record, dict)
+        or record.get("kind") not in RECORD_KINDS
+        or not isinstance(record.get("result"), dict)
+        or not isinstance(record.get("key"), str)
+    ):
+        return "corrupt"
+    if key is not None and record["key"] != key:
+        return "corrupt"
+    if "digest" in record and record["digest"] != payload_digest(record):
+        return "corrupt"
+    if record.get("version") != CACHE_FORMAT_VERSION:
+        return "stale"
+    return "ok"
+
+
+def check_key(key: str) -> str:
+    """Keys are spec hashes; they double as filenames, so be strict."""
+    if not isinstance(key, str) or len(key) < 8 or not set(key) <= _HEX:
+        raise StoreError(f"not a content key (hex digest expected): {key!r}")
+    return key
+
+
+# ----------------------------------------------------------------------
+# Interface
+# ----------------------------------------------------------------------
+class ResultStore:
+    """Content-addressed result storage; all backends share this API."""
+
+    scheme: str = "abstract"
+    #: directory a LeaseBoard can coordinate in (None = cannot coordinate
+    #: across processes, e.g. the in-memory backend).
+    root: Optional[Path] = None
+
+    def get(self, key: str) -> Optional[Dict]:
+        """The valid current-version record for ``key``, or None."""
+        raise NotImplementedError
+
+    def put(self, key: str, body: Dict) -> Dict:
+        """Durably publish ``body`` under ``key``; returns the WINNING
+        record (first durable write wins; a racing loser verifies
+        bit-identity and adopts the winner)."""
+        raise NotImplementedError
+
+    def discard(self, key: str) -> None:
+        """Drop ``key``'s entry (e.g. its schema is unreadable to this
+        code version and the caller is about to recompute it)."""
+        raise NotImplementedError
+
+    def keys(self) -> Iterator[str]:
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.keys())
+
+    def __contains__(self, key: str) -> bool:
+        return self.get(key) is not None
+
+    def url(self) -> str:
+        """A spec string that reopens this store (workers cross process
+        boundaries with it)."""
+        return f"{self.scheme}:{self.root}" if self.root else f"{self.scheme}:"
+
+    # -- maintenance (the `repro cache` surface) -----------------------
+    def stats(self) -> Dict:
+        raise NotImplementedError
+
+    def verify(self) -> Dict:
+        raise NotImplementedError
+
+    def gc(self) -> Dict:
+        raise NotImplementedError
+
+
+class MemoryStore(ResultStore):
+    """Dict-backed store: tests and single-process throwaway sweeps."""
+
+    scheme = "memory"
+
+    def __init__(self):
+        self._records: Dict[str, Dict] = {}
+
+    def get(self, key: str) -> Optional[Dict]:
+        record = self._records.get(check_key(key))
+        if record is None or record_status(record, key) != "ok":
+            return None
+        return record
+
+    def put(self, key: str, body: Dict) -> Dict:
+        record = normalize_record(check_key(key), body)
+        existing = self._records.get(key)
+        if existing is not None and record_status(existing, key) == "ok":
+            if canonical_bytes(existing) != canonical_bytes(record):
+                raise StoreIntegrityError(
+                    f"duplicate completion of {key} is not bit-identical "
+                    f"to the stored winner"
+                )
+            return existing
+        self._records[key] = record
+        return record
+
+    def discard(self, key: str) -> None:
+        self._records.pop(check_key(key), None)
+
+    def keys(self) -> Iterator[str]:
+        return iter(list(self._records))
+
+    def stats(self) -> Dict:
+        ok = sum(1 for r in self._records.values()
+                 if record_status(r) == "ok")
+        return {"backend": self.scheme, "entries": ok,
+                "stale": len(self._records) - ok,
+                "bytes": sum(len(canonical_bytes(r))
+                             for r in self._records.values()),
+                "shards": 0, "quarantined": 0}
+
+    def verify(self) -> Dict:
+        ok = stale = 0
+        corrupt: List[str] = []
+        for key, record in list(self._records.items()):
+            status = record_status(record, key)
+            if status == "ok":
+                ok += 1
+            elif status == "stale":
+                stale += 1
+            else:
+                corrupt.append(key)
+                del self._records[key]
+        return {"checked": ok + stale + len(corrupt), "ok": ok,
+                "stale": stale, "corrupt": corrupt,
+                "quarantined": len(corrupt)}
+
+    def gc(self) -> Dict:
+        stale = [k for k, r in self._records.items()
+                 if record_status(r, k) == "stale"]
+        for key in stale:
+            del self._records[key]
+        return {"stale_removed": len(stale), "tmp_removed": 0,
+                "leases_removed": 0}
+
+
+# ----------------------------------------------------------------------
+# Sharded local-directory backend
+# ----------------------------------------------------------------------
+class ShardedDirStore(ResultStore):
+    """Hash-prefix sharded directory of one-JSON-file-per-result objects."""
+
+    scheme = "dir"
+    #: .tmp files older than this are presumed abandoned (gc removes them).
+    TMP_MAX_AGE_SECONDS = 300.0
+
+    def __init__(self, root: Union[str, Path], migrate_legacy: bool = True):
+        self.root = Path(root)
+        self._memo: Dict[str, Dict] = {}
+        self.quarantined = 0      # this process, lifetime
+        self.migrated = 0
+        self.verified_duplicates = 0
+        if migrate_legacy:
+            self.migrated = self.ingest_jsonl(self.root / LEGACY_FILENAME,
+                                              rename=True, missing_ok=True)
+
+    # -- paths ---------------------------------------------------------
+    def _objects(self) -> Path:
+        return self.root / OBJECTS_DIR
+
+    def _path(self, key: str) -> Path:
+        return self._objects() / key[:SHARD_CHARS] / f"{key}.json"
+
+    def path_for(self, key: str) -> Path:
+        """Where ``key``'s entry lives (tests, tooling; may not exist)."""
+        return self._path(check_key(key))
+
+    def _quarantine(self, path: Path) -> None:
+        """Move a damaged file aside (never delete data, never crash)."""
+        dest_dir = self.root / QUARANTINE_DIR
+        dest_dir.mkdir(parents=True, exist_ok=True)
+        dest = dest_dir / path.name
+        n = 0
+        while dest.exists():
+            n += 1
+            dest = dest_dir / f"{path.name}.{n}"
+        try:
+            os.replace(path, dest)
+            self.quarantined += 1
+        except FileNotFoundError:
+            pass  # another process beat us to it
+
+    # -- read ----------------------------------------------------------
+    def _read(self, key: str) -> Tuple[Optional[Dict], str]:
+        """(record, status) for the on-disk entry; ("missing") if absent."""
+        path = self._path(key)
+        try:
+            raw = path.read_bytes()
+        except FileNotFoundError:
+            return None, "missing"
+        try:
+            record = json.loads(raw)
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            return None, "corrupt"
+        return record, record_status(record, key)
+
+    def get(self, key: str) -> Optional[Dict]:
+        check_key(key)
+        memo = self._memo.get(key)
+        if memo is not None:
+            return memo
+        record, status = self._read(key)
+        if status == "ok":
+            self._memo[key] = record
+            return record
+        if status == "corrupt":
+            self._quarantine(self._path(key))
+        return None  # missing / stale / corrupt all mean "recompute"
+
+    def discard(self, key: str) -> None:
+        self._memo.pop(check_key(key), None)
+        try:
+            os.unlink(self._path(key))
+        except FileNotFoundError:
+            pass
+
+    # -- write ---------------------------------------------------------
+    def _publish(self, tmp: Path, final: Path) -> bool:
+        """Atomically give ``tmp``'s bytes the final name; False if the
+        name is already taken (first durable write won)."""
+        try:
+            os.link(tmp, final)
+        except FileExistsError:
+            return False
+        except OSError:
+            # filesystem without hard links: os.replace is still atomic,
+            # and racing writers of one key write identical bytes.
+            os.replace(tmp, final)
+            return True
+        return True
+
+    def _dir_sync(self, directory: Path) -> None:
+        """Hook: the shared-volume backend fsyncs directory entries."""
+
+    def _locked_shard(self, shard_dir: Path):
+        """Hook: the shared-volume backend flocks the shard around
+        publish; locally, atomic link is already enough."""
+        import contextlib
+        return contextlib.nullcontext()
+
+    def put(self, key: str, body: Dict) -> Dict:
+        record = normalize_record(check_key(key), body)
+        data = canonical_bytes(record) + b"\n"
+        final = self._path(key)
+        shard_dir = final.parent
+        shard_dir.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(prefix=".tmp-", dir=shard_dir)
+        tmp = Path(tmp_name)
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(data)
+                fh.flush()
+                os.fsync(fh.fileno())
+            while True:
+                with self._locked_shard(shard_dir):
+                    if self._publish(tmp, final):
+                        self._dir_sync(shard_dir)
+                        self._memo[key] = record
+                        return record
+                    existing, status = self._read(key)
+                    if status == "ok":
+                        # first durable write won; verify bit-identity.
+                        if canonical_bytes(existing) != canonical_bytes(record):
+                            raise StoreIntegrityError(
+                                f"duplicate completion of {key} is not "
+                                f"bit-identical to the stored winner "
+                                f"({final})"
+                            )
+                        self.verified_duplicates += 1
+                        self._memo[key] = existing
+                        return existing
+                    if status == "stale":
+                        # current-version result supersedes an old-version
+                        # entry (racing writers produce identical bytes).
+                        os.replace(tmp, final)
+                        self._dir_sync(shard_dir)
+                        self._memo[key] = record
+                        return record
+                    if status == "corrupt":
+                        self._quarantine(final)
+                        continue  # name free again -> retry the link
+                    # "missing": quarantined/removed under us -> retry
+        finally:
+            try:
+                os.unlink(tmp)
+            except FileNotFoundError:
+                pass
+
+    # -- enumeration / maintenance -------------------------------------
+    def _entry_paths(self) -> Iterator[Path]:
+        objects = self._objects()
+        if not objects.is_dir():
+            return
+        for shard in sorted(p for p in objects.iterdir() if p.is_dir()):
+            for path in sorted(shard.iterdir()):
+                if path.name.endswith(".json") and not path.name.startswith("."):
+                    yield path
+
+    def keys(self) -> Iterator[str]:
+        for path in self._entry_paths():
+            yield path.name[:-len(".json")]
+
+    def stats(self) -> Dict:
+        entries = stale = corrupt = total_bytes = 0
+        shards = set()
+        for path in self._entry_paths():
+            shards.add(path.parent.name)
+            try:
+                total_bytes += path.stat().st_size
+            except FileNotFoundError:
+                continue
+            record, status = self._read(path.name[:-len(".json")])
+            if status == "ok":
+                entries += 1
+            elif status == "stale":
+                stale += 1
+            else:
+                corrupt += 1
+        quarantine = self.root / QUARANTINE_DIR
+        quarantined = (sum(1 for _ in quarantine.iterdir())
+                       if quarantine.is_dir() else 0)
+        board = LeaseBoard(self.root)
+        return {"backend": self.scheme, "root": str(self.root),
+                "entries": entries, "stale": stale, "corrupt": corrupt,
+                "bytes": total_bytes, "shards": len(shards),
+                "quarantined": quarantined, "leases": board.active(),
+                "migrated_legacy": self.migrated}
+
+    def verify(self) -> Dict:
+        """Re-hash every entry; quarantine anything that fails."""
+        ok = stale = 0
+        corrupt: List[str] = []
+        for path in list(self._entry_paths()):
+            key = path.name[:-len(".json")]
+            record, status = self._read(key)
+            if status == "ok":
+                ok += 1
+            elif status == "stale":
+                stale += 1
+            elif status != "missing":
+                corrupt.append(key)
+                self._quarantine(path)
+                self._memo.pop(key, None)
+        return {"checked": ok + stale + len(corrupt), "ok": ok,
+                "stale": stale, "corrupt": corrupt,
+                "quarantined": len(corrupt)}
+
+    def gc(self) -> Dict:
+        """Drop stale-version entries, abandoned temp files, dead leases."""
+        stale_removed = tmp_removed = 0
+        now = time.time()
+        objects = self._objects()
+        if objects.is_dir():
+            for shard in list(objects.iterdir()):
+                if not shard.is_dir():
+                    continue
+                for path in list(shard.iterdir()):
+                    if path.name.startswith(".tmp-"):
+                        try:
+                            if now - path.stat().st_mtime > self.TMP_MAX_AGE_SECONDS:
+                                path.unlink()
+                                tmp_removed += 1
+                        except FileNotFoundError:
+                            pass
+                        continue
+                    if not path.name.endswith(".json"):
+                        continue
+                    key = path.name[:-len(".json")]
+                    _record, status = self._read(key)
+                    if status == "stale":
+                        try:
+                            path.unlink()
+                            stale_removed += 1
+                        except FileNotFoundError:
+                            pass
+                        self._memo.pop(key, None)
+                try:
+                    shard.rmdir()  # only succeeds when emptied
+                except OSError:
+                    pass
+        leases_removed = LeaseBoard(self.root).sweep()
+        return {"stale_removed": stale_removed, "tmp_removed": tmp_removed,
+                "leases_removed": leases_removed}
+
+    # -- legacy migration ----------------------------------------------
+    def ingest_jsonl(self, path: Union[str, Path], rename: bool = False,
+                     missing_ok: bool = False) -> int:
+        """Ingest a PR-2 append-only ``results.jsonl`` into the sharded
+        layout (valid current-version lines only; the rest is exactly the
+        damage this store exists to contain).  With ``rename`` the source
+        is atomically renamed to ``<name>.migrated`` afterwards, so the
+        migration happens once even with concurrent openers."""
+        path = Path(path)
+        try:
+            lines = path.read_text(encoding="utf-8").splitlines()
+        except FileNotFoundError:
+            if missing_ok:
+                return 0
+            raise StoreError(f"no legacy result file at {path}")
+        ingested = 0
+        for line in lines:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if record_status(record) != "ok":
+                continue
+            key = record["key"]
+            try:
+                check_key(key)
+            except StoreError:
+                continue
+            if self.get(key) is None:
+                self.put(key, record)
+                ingested += 1
+        if rename:
+            try:
+                os.replace(path, path.with_name(path.name + ".migrated"))
+            except FileNotFoundError:
+                pass  # concurrent opener already renamed it
+        return ingested
+
+
+class SharedVolumeStore(ShardedDirStore):
+    """Sharded store hardened for concurrent writers on a shared volume.
+
+    Adds per-shard ``flock`` serialization around the publish step (kept
+    on lock files under ``locks/``, so NFS-style volumes that support
+    POSIX locks serialize racing hosts) and directory fsyncs, so a
+    result is durable on the volume before the runner releases its lease.
+    """
+
+    scheme = "shared"
+
+    def _locked_shard(self, shard_dir: Path):
+        lock_dir = self.root / LOCKS_DIR
+        lock_dir.mkdir(parents=True, exist_ok=True)
+        return _flocked(lock_dir / f"{shard_dir.name}.lock")
+
+    def _dir_sync(self, directory: Path) -> None:
+        try:
+            fd = os.open(directory, os.O_RDONLY)
+        except OSError:
+            return
+        try:
+            os.fsync(fd)
+        except OSError:
+            pass
+        finally:
+            os.close(fd)
+
+
+class _flocked:
+    """``with _flocked(path):`` — advisory exclusive lock (no-op where
+    fcntl is unavailable)."""
+
+    def __init__(self, path: Path):
+        self.path = path
+        self._fh = None
+
+    def __enter__(self):
+        try:
+            import fcntl
+        except ImportError:
+            return self
+        self._fh = open(self.path, "a+")
+        fcntl.flock(self._fh.fileno(), fcntl.LOCK_EX)
+        return self
+
+    def __exit__(self, *exc):
+        if self._fh is not None:
+            import fcntl
+            fcntl.flock(self._fh.fileno(), fcntl.LOCK_UN)
+            self._fh.close()
+            self._fh = None
+        return False
+
+
+# ----------------------------------------------------------------------
+# Lease board: the claim / expire / complete protocol
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Lease:
+    """A successful claim on one content key."""
+
+    key: str
+    generation: int
+    worker: str
+    expires_at: float
+    reclaimed: bool = False  # True when taken over from an expired holder
+
+
+class LeaseBoard:
+    """Lease files next to the objects: ``leases/<key>.g<generation>``.
+
+    Claiming creates the next generation atomically (temp file +
+    ``os.link``), so exactly one contender wins each generation.  A lease
+    is live until its embedded deadline passes; a crashed or wedged
+    holder's key becomes claimable again at generation+1 — the survivor's
+    completion then supersedes whatever the zombie later writes (the
+    store's first-durable-write-wins rule resolves it deterministically).
+    """
+
+    def __init__(self, root: Union[str, Path], ttl: float = 60.0):
+        self.dir = Path(root) / LEASES_DIR
+        self.ttl = float(ttl)
+
+    # -- inspection ----------------------------------------------------
+    def _lease_files(self, key: str) -> List[Tuple[int, Path]]:
+        if not self.dir.is_dir():
+            return []
+        out = []
+        prefix = f"{key}.g"
+        for path in self.dir.iterdir():
+            if not path.name.startswith(prefix):
+                continue
+            try:
+                out.append((int(path.name[len(prefix):]), path))
+            except ValueError:
+                continue
+        return sorted(out)
+
+    def current(self, key: str) -> Optional[Tuple[int, float]]:
+        """(generation, expires_at) of the newest lease, or None."""
+        while True:
+            files = self._lease_files(check_key(key))
+            if not files:
+                return None
+            generation, path = files[-1]
+            try:
+                data = json.loads(path.read_text(encoding="utf-8"))
+                expires = float(data["expires_at"])
+            except FileNotFoundError:
+                # vanished between scan and read: the holder released it
+                # (completion), not damage -- re-scan instead of reporting
+                # a phantom expired lease that would read as a reclaim.
+                continue
+            except (OSError, ValueError, KeyError, json.JSONDecodeError):
+                # lease files are link-published (never torn); anything
+                # else unreadable is damage -> treat as expired,
+                # reclaimable.
+                expires = 0.0
+            return generation, expires
+
+    def active(self) -> int:
+        """Count of keys currently under a live lease."""
+        if not self.dir.is_dir():
+            return 0
+        newest: Dict[str, int] = {}
+        for path in self.dir.iterdir():
+            key, sep, gen = path.name.rpartition(".g")
+            if not sep:
+                continue
+            try:
+                newest[key] = max(newest.get(key, 0), int(gen))
+            except ValueError:
+                continue
+        live = 0
+        for key, generation in newest.items():
+            try:
+                data = json.loads(
+                    (self.dir / f"{key}.g{generation:06d}").read_text())
+                if float(data["expires_at"]) > time.time():
+                    live += 1
+            except (OSError, ValueError, KeyError, json.JSONDecodeError):
+                continue
+        return live
+
+    # -- protocol ------------------------------------------------------
+    def _try_create(self, key: str, generation: int, worker: str,
+                    ttl: float) -> Optional[Lease]:
+        self.dir.mkdir(parents=True, exist_ok=True)
+        expires = time.time() + ttl
+        body = json.dumps({"worker": worker, "expires_at": expires,
+                           "claimed_at": time.time()}).encode("utf-8")
+        fd, tmp_name = tempfile.mkstemp(prefix=".tmp-", dir=self.dir)
+        tmp = Path(tmp_name)
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(body)
+                fh.flush()
+                os.fsync(fh.fileno())
+            final = self.dir / f"{key}.g{generation:06d}"
+            try:
+                os.link(tmp, final)
+            except FileExistsError:
+                return None
+            except OSError:
+                # no-hardlink filesystem: O_EXCL gives the same atomicity
+                try:
+                    with open(final, "xb") as fh:
+                        fh.write(body)
+                except FileExistsError:
+                    return None
+            return Lease(key=key, generation=generation, worker=worker,
+                         expires_at=expires, reclaimed=generation > 1)
+        finally:
+            try:
+                os.unlink(tmp)
+            except FileNotFoundError:
+                pass
+
+    def claim(self, key: str, worker: str,
+              ttl: Optional[float] = None) -> Optional[Lease]:
+        """Try to become the executor for ``key``.
+
+        Returns a :class:`Lease` on success, None while another worker
+        validly holds it.  An expired (or unreadable) lease is taken over
+        at the next generation; losing that takeover race just means
+        somebody else is now validly working on the key.
+        """
+        ttl = self.ttl if ttl is None else float(ttl)
+        check_key(key)
+        while True:
+            current = self.current(key)
+            if current is None:
+                generation = 1
+            else:
+                held_generation, expires_at = current
+                if expires_at > time.time():
+                    return None
+                generation = held_generation + 1
+            lease = self._try_create(key, generation, worker, ttl)
+            if lease is not None:
+                if generation > 1:
+                    self._drop_generations(key, below=generation)
+                return lease
+            # lost the creation race; re-read and re-evaluate.
+
+    def release(self, key: str) -> None:
+        """Completion: the result is durable, all leases for the key die."""
+        for _generation, path in self._lease_files(key):
+            try:
+                path.unlink()
+            except FileNotFoundError:
+                pass
+
+    def _drop_generations(self, key: str, below: int) -> None:
+        for generation, path in self._lease_files(key):
+            if generation < below:
+                try:
+                    path.unlink()
+                except FileNotFoundError:
+                    pass
+
+    def sweep(self) -> int:
+        """Remove every expired lease file (``repro cache gc``)."""
+        removed = 0
+        if not self.dir.is_dir():
+            return 0
+        now = time.time()
+        for path in list(self.dir.iterdir()):
+            if path.name.startswith(".tmp-"):
+                continue
+            try:
+                data = json.loads(path.read_text(encoding="utf-8"))
+                expires = float(data["expires_at"])
+            except (OSError, ValueError, KeyError, json.JSONDecodeError):
+                expires = 0.0
+            if expires <= now:
+                try:
+                    path.unlink()
+                    removed += 1
+                except FileNotFoundError:
+                    pass
+        return removed
+
+
+# ----------------------------------------------------------------------
+# Backend registry / URL opening
+# ----------------------------------------------------------------------
+#: scheme -> backend class; extend to plug in new backends (queue/broker
+#: backends slot in here without touching the runner).
+STORE_BACKENDS: Dict[str, type] = {
+    "memory": MemoryStore,
+    "dir": ShardedDirStore,
+    "shared": SharedVolumeStore,
+}
+
+
+def open_store(url: Optional[str] = None,
+               directory: Union[str, Path, None] = None,
+               migrate_legacy: bool = True) -> ResultStore:
+    """Open a result store from a spec string.
+
+    ``url`` forms: ``memory:``, ``dir:PATH``, ``shared:PATH``, or a bare
+    path (treated as ``dir:``).  With no url, a sharded dir store on
+    ``directory`` is opened.
+    """
+    if not url:
+        if directory is None:
+            raise StoreError("open_store needs a url or a directory")
+        return ShardedDirStore(directory, migrate_legacy=migrate_legacy)
+    scheme, sep, rest = url.partition(":")
+    if scheme not in STORE_BACKENDS:
+        if sep:
+            raise StoreError(
+                f"unknown store scheme {scheme!r}; choose from "
+                f"{sorted(STORE_BACKENDS)}"
+            )
+        scheme, rest = "dir", url  # bare path
+    cls = STORE_BACKENDS[scheme]
+    if cls is MemoryStore:
+        return MemoryStore()
+    target = rest or directory
+    if not target:
+        raise StoreError(f"store url {url!r} needs a path, e.g. {scheme}:PATH")
+    return cls(target, migrate_legacy=migrate_legacy)

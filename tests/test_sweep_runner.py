@@ -1,4 +1,4 @@
-"""Spec hashing, result cache, and parallel sweep determinism."""
+"""Spec hashing, result store, and parallel sweep determinism."""
 
 import json
 
@@ -6,7 +6,6 @@ import pytest
 
 from repro.harness import runner as runner_mod
 from repro.harness.runner import (
-    ResultCache,
     execution_options,
     run_specs,
     run_sweep,
@@ -17,8 +16,14 @@ from repro.harness.specs import (
     SweepSpec,
     freeze,
 )
+from repro.harness.store import ShardedDirStore
 from repro.sim.config import SystemConfig, ndp_2_5d
 from repro.workloads.base import RunMetrics
+
+
+def _entry_path(tmp_path, spec):
+    """The sharded-store file holding ``spec``'s result."""
+    return ShardedDirStore(tmp_path).path_for(spec.cache_key())
 
 
 def _lock_spec(**kwargs):
@@ -106,25 +111,25 @@ class TestResultCache:
                   cache=True, cache_dir=str(tmp_path))
         assert runner_mod.STATS.executed == 1
 
-    def test_corrupted_cache_line_recomputes_not_crashes(self, tmp_path):
+    def test_corrupted_entry_quarantined_and_recomputed(self, tmp_path):
         spec = _lock_spec()
         first = run_specs([spec], cache=True, cache_dir=str(tmp_path))
-        path = tmp_path / ResultCache.FILENAME
-        # corrupt the stored line, append garbage and a wrong-shape record
-        path.write_text(
-            path.read_text()[:40] + "\nnot json at all\n"
-            + json.dumps({"key": spec.cache_key(), "kind": "weird"}) + "\n"
-        )
+        path = _entry_path(tmp_path, spec)
+        # truncate the stored object into invalid JSON
+        path.write_text(path.read_text()[:40])
         runner_mod.STATS.reset()
         again = run_specs([spec], cache=True, cache_dir=str(tmp_path))
         assert runner_mod.STATS.executed == 1  # recomputed
         assert again[0] == first[0]
+        # the damaged bytes were moved aside, not silently destroyed
+        quarantined = list((tmp_path / "quarantine").iterdir())
+        assert [p.name for p in quarantined] == [path.name]
 
     def test_version_bump_invalidates(self, tmp_path):
         spec = _lock_spec()
         run_specs([spec], cache=True, cache_dir=str(tmp_path))
-        path = tmp_path / ResultCache.FILENAME
-        record = json.loads(path.read_text().splitlines()[0])
+        path = _entry_path(tmp_path, spec)
+        record = json.loads(path.read_text())
         record["version"] = CACHE_FORMAT_VERSION + 1
         path.write_text(json.dumps(record) + "\n")
         runner_mod.STATS.reset()
@@ -256,10 +261,14 @@ class TestSweepSpec:
     def test_stale_schema_cache_record_falls_back_to_simulation(self, tmp_path):
         spec = _lock_spec()
         first = run_specs([spec], cache=True, cache_dir=str(tmp_path))
-        path = tmp_path / ResultCache.FILENAME
-        record = json.loads(path.read_text().splitlines()[0])
-        # simulate a RunMetrics schema change without a version bump
+        path = _entry_path(tmp_path, spec)
+        record = json.loads(path.read_text())
+        # simulate a RunMetrics schema change without a version bump; the
+        # entry's self-digest is recomputed so it still reads as intact
         record["result"]["renamed_field"] = record["result"].pop("cycles")
+        from repro.harness.store import payload_digest
+
+        record["digest"] = payload_digest(record)
         path.write_text(json.dumps(record) + "\n")
         runner_mod.STATS.reset()
         again = run_specs([spec], cache=True, cache_dir=str(tmp_path))
