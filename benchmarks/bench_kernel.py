@@ -196,6 +196,109 @@ def _message_mix_current(n_messages: int) -> int:
     return handled[0]
 
 
+# ----------------------------------------------------------------------
+# Poll storm: N spinners on one contended flag — the shape the spin
+# baselines (rmw_spin/bakery) generate.  Three implementations:
+#
+# - legacy:   free-running poll chains on the seed kernel (one event per
+#             poll per waiter, the pre-wait-channel idiom),
+# - explicit: wait-channels with elision OFF (the burn chain materializes
+#             every poll tick, wakes computed by the same arithmetic),
+# - elided:   wait-channels with elision ON (no poll events at all; the
+#             skipped ticks are counted in ``Simulator.elided_events``).
+#
+# Throughput is reported in LOGICAL events/sec — (processed + elided) per
+# wall-clock second — so the three variants are compared on the same work.
+# ----------------------------------------------------------------------
+def _poll_storm_legacy(n_waiters: int, target: int,
+                       period: int = 5, cs: int = 200) -> tuple:
+    sim = LegacySimulator()
+    flag = [0]
+    acquired = [0]
+
+    def poll(wid):
+        if acquired[0] >= target:
+            return
+        if flag[0] == 0:
+            flag[0] = 1
+            acquired[0] += 1
+            sim.schedule(cs, lambda w=wid: release(w))
+        else:
+            sim.schedule(period, lambda w=wid: poll(w))
+
+    def release(wid):
+        flag[0] = 0
+        if acquired[0] < target:
+            sim.schedule(period, lambda w=wid: poll(w))
+
+    for wid in range(n_waiters):
+        sim.schedule(1 + wid, lambda w=wid: poll(w))
+    sim.run()
+    return sim._events_processed, 0
+
+
+def _poll_storm_channel(n_waiters: int, target: int, elide: bool,
+                        period: int = 5, cs: int = 200) -> tuple:
+    sim = Simulator(elide_waits=elide)
+    channel = sim.channel("storm")
+    flag = [0]
+    acquired = [0]
+
+    def wake(_polls, wid):
+        if acquired[0] >= target:
+            return
+        if flag[0] == 0:
+            flag[0] = 1
+            acquired[0] += 1
+            sim.schedule(cs, release, wid)
+        else:
+            channel.wait(wake, period, period, wid)
+
+    def release(wid):
+        flag[0] = 0
+        channel.signal()
+        if acquired[0] < target:
+            channel.wait(wake, period, period, wid)
+
+    for wid in range(n_waiters):
+        sim.schedule(1 + wid, wake, 0, wid)
+    sim.run()
+    return sim.events_processed, sim.elided_events
+
+
+def poll_storm_bench(n_waiters: int = 32, target: int = 300) -> dict:
+    """Legacy vs explicit vs elided throughput on the spin-storm shape."""
+    results = {}
+    for name, fn, args in (
+        ("legacy", _poll_storm_legacy, (n_waiters, target)),
+        ("explicit", _poll_storm_channel, (n_waiters, target, False)),
+        ("elided", _poll_storm_channel, (n_waiters, target, True)),
+    ):
+        start = time.perf_counter()
+        processed, elided = fn(*args)
+        elapsed = time.perf_counter() - start
+        logical = processed + elided
+        results[name] = {
+            "events_processed": processed,
+            "elided_events": elided,
+            "logical_events": logical,
+            "seconds": elapsed,
+            "logical_events_per_sec": (
+                logical / elapsed if elapsed > 0 else float("inf")
+            ),
+        }
+    explicit = results["explicit"]["logical_events_per_sec"]
+    results["elision_speedup_vs_explicit"] = (
+        results["elided"]["logical_events_per_sec"] / explicit
+        if explicit else float("inf")
+    )
+    results["elision_speedup_vs_legacy"] = (
+        results["elided"]["logical_events_per_sec"]
+        / results["legacy"]["logical_events_per_sec"]
+    )
+    return results
+
+
 def _time_events(fn, *args) -> dict:
     start = time.perf_counter()
     events = fn(*args)
@@ -273,6 +376,63 @@ def end_to_end() -> dict:
     }
 
 
+# ----------------------------------------------------------------------
+# End-to-end elision: the same spin-baseline workload with wait-elision
+# OFF vs ON.  Cycles and physics counters must be bit-identical (the CI
+# determinism diff checks that broadly); this records the wall-clock win.
+# ----------------------------------------------------------------------
+def end_to_end_spin(rounds: int = 60, cs_cycles: int = 600) -> dict:
+    from repro.core import api
+    from repro.sim.config import ndp_2_5d
+    from repro.sim.program import Compute
+    from repro.sim.system import NDPSystem
+
+    results = {}
+    for label, elide in (("explicit", False), ("elided", True)):
+        config = ndp_2_5d(
+            num_units=2, cores_per_unit=5, client_cores_per_unit=4,
+        ).with_(elide_waits=elide)
+        system = NDPSystem(config, mechanism="rmw_spin")
+        lock = system.create_syncvar(name="bench_spin")
+        counter = [0]
+
+        # A non-trivial critical section is the spin baselines' worst case:
+        # every other core burns backoff polls for the whole hold time.
+        def worker():
+            for _ in range(rounds):
+                yield api.lock_acquire(lock)
+                counter[0] += 1
+                yield Compute(cs_cycles)
+                yield api.lock_release(lock)
+
+        programs = {core.core_id: worker() for core in system.cores}
+        start = time.perf_counter()
+        makespan = system.run_programs(programs)
+        elapsed = time.perf_counter() - start
+        results[label] = {
+            "simulated_cycles": makespan,
+            "events_processed": system.sim.events_processed,
+            "elided_events": system.sim.elided_events,
+            "seconds": elapsed,
+            "critical_sections": counter[0],
+        }
+    if results["explicit"]["simulated_cycles"] != results["elided"]["simulated_cycles"]:
+        raise AssertionError(
+            "elision changed the simulated makespan: "
+            f"{results['explicit']['simulated_cycles']} vs "
+            f"{results['elided']['simulated_cycles']}"
+        )
+    results["config"] = (
+        f"2 units x 4 clients, rmw_spin, lock x{rounds} "
+        f"(cs={cs_cycles} cycles)"
+    )
+    results["wall_clock_speedup"] = (
+        results["explicit"]["seconds"] / results["elided"]["seconds"]
+        if results["elided"]["seconds"] else float("inf")
+    )
+    return results
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--output", type=Path,
@@ -282,8 +442,11 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     micro = kernel_microbench(scale=max(args.scale, 1))
+    storm = poll_storm_bench()
     e2e = end_to_end()
-    report = {"kernel_microbench": micro, "end_to_end": e2e}
+    spin = end_to_end_spin()
+    report = {"kernel_microbench": micro, "poll_storm": storm,
+              "end_to_end": e2e, "end_to_end_spin": spin}
 
     overall = micro["overall"]
     print("kernel microbenchmark (events/sec):")
@@ -295,9 +458,23 @@ def main(argv=None) -> int:
     print(f"  {'overall':18s} legacy {overall['legacy_events_per_sec']:>12,.0f}"
           f"  current {overall['current_events_per_sec']:>12,.0f}"
           f"  speedup {overall['speedup']:.2f}x")
+    print("poll storm (logical events/sec):")
+    for name in ("legacy", "explicit", "elided"):
+        r = storm[name]
+        print(f"  {name:18s} {r['logical_events_per_sec']:>14,.0f}"
+              f"  ({r['events_processed']:,} processed"
+              f" + {r['elided_events']:,} elided)")
+    print(f"  elision speedup: {storm['elision_speedup_vs_explicit']:.1f}x"
+          f" vs explicit, {storm['elision_speedup_vs_legacy']:.1f}x vs legacy")
     print(f"end-to-end: {e2e['events']:,} events in {e2e['seconds']:.2f}s"
           f" -> {e2e['events_per_sec']:,.0f} events/sec"
           f" ({e2e['simulated_cycles']:,} simulated cycles)")
+    print(f"end-to-end spin (rmw_spin): {spin['wall_clock_speedup']:.2f}x"
+          f" wall-clock with elision"
+          f" ({spin['explicit']['seconds']:.2f}s -> "
+          f"{spin['elided']['seconds']:.2f}s,"
+          f" {spin['elided']['elided_events']:,} polls elided,"
+          f" cycles identical)")
 
     args.output.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {args.output}")
@@ -310,6 +487,20 @@ def test_kernel_bench_smoke():
     micro = kernel_microbench(scale=1)
     assert micro["overall"]["current_events_per_sec"] > 0
     assert micro["overall"]["speedup"] > 1.0
+
+
+def test_poll_storm_elision_speedup():
+    """Elision must beat materialized polling by >= 3x on the storm shape."""
+    storm = poll_storm_bench(n_waiters=32, target=150)
+    assert storm["elided"]["logical_events"] > 0
+    assert storm["elided"]["elided_events"] > storm["elided"]["events_processed"]
+    assert storm["elision_speedup_vs_explicit"] >= 3.0
+
+
+def test_end_to_end_spin_identical_cycles():
+    """The rmw_spin workload's makespan is elision-invariant (asserted inside)."""
+    spin = end_to_end_spin(rounds=8)
+    assert spin["elided"]["elided_events"] > 0
 
 
 if __name__ == "__main__":

@@ -169,6 +169,7 @@ def _runner_options(args) -> Dict:
         "store": args.store,
         "worker_id": args.worker_id,
         "lease_ttl": args.lease_ttl,
+        "sampling": getattr(args, "sampling", None),
     }
 
 
@@ -386,6 +387,99 @@ def cmd_corun(args) -> int:
 
 
 # ----------------------------------------------------------------------
+# sample-check: sampled-mode honesty (estimates vs an exact run)
+# ----------------------------------------------------------------------
+def cmd_sample_check(args) -> int:
+    from repro.harness.runner import execute_spec
+    from repro.harness.sampling import flatten_metrics, run_sampled
+    from repro.harness.specs import RunSpec
+    from repro.workloads.base import RunMetrics
+
+    primitives = _csv(args.primitives) or (() if args.structures else ("lock",))
+    structures = _csv(args.structures)
+    mechanisms = _csv(args.mechanisms) or ("syncron",)
+    error = validate_names(primitives=primitives, structures=structures,
+                           mechanisms=mechanisms)
+    if error:
+        print(f"sample-check: {error}", file=sys.stderr)
+        return 2
+    scenarios: List[Tuple[str, Dict]] = []
+    scenarios.extend(
+        ("primitive", {"primitive": p, "interval": args.interval,
+                       "rounds": args.rounds})
+        for p in primitives
+    )
+    scenarios.extend(
+        ("structure", {"structure": s, "ops_per_core": args.rounds})
+        for s in structures
+    )
+
+    rows = []
+    status = 0
+    for workload, wargs in scenarios:
+        for mech in mechanisms:
+            spec = RunSpec.make(workload, mechanism=mech, args=wargs,
+                                preset=args.preset)
+            try:
+                sampled, report = run_sampled(spec, args.fraction)
+            except ValueError as exc:
+                print(f"sample-check: {spec.describe()}: {exc}",
+                      file=sys.stderr)
+                return 2
+            exact = RunMetrics.from_dict(execute_spec(spec)["result"])
+            flat_exact = flatten_metrics(exact)
+            violations = []
+            for name, cell in report["counters"].items():
+                if name.startswith("stats.kernel."):
+                    continue  # simulation effort, not an extrapolated target
+                observed = abs(cell["estimate"] - flat_exact.get(name, 0.0))
+                if observed > cell["bound"]:
+                    violations.append((name, observed, cell["bound"]))
+            exact_events = flat_exact["stats.kernel.events_processed"]
+            ratio = (report["executed_events"] / exact_events
+                     if exact_events else 0.0)
+            rows.append({
+                "run": spec.describe(),
+                "rounds": (
+                    "+".join(str(k) for k in report["sampled_rounds"])
+                    + f"/{report['total_rounds']}"
+                ),
+                "events_vs_exact": f"{100 * ratio:.1f}%",
+                "cycles_est": sampled.cycles,
+                "cycles_exact": exact.cycles,
+                "cycles_err_pct": (
+                    f"{100 * abs(sampled.cycles - exact.cycles) / exact.cycles:.2f}"
+                    if exact.cycles else "0.00"
+                ),
+                "counters_ok": (
+                    f"{len(report['counters']) - len(violations)}"
+                    f"/{len(report['counters'])}"
+                ),
+            })
+            if violations:
+                status = 1
+                for name, observed, bound in violations:
+                    print(
+                        f"sample-check: {spec.describe()}: counter {name} "
+                        f"error {observed:.3g} escapes its bound {bound:.3g}",
+                        file=sys.stderr,
+                    )
+            if ratio > args.max_event_ratio:
+                status = 1
+                print(
+                    f"sample-check: {spec.describe()}: sampled runs executed "
+                    f"{100 * ratio:.1f}% of the exact run's events "
+                    f"(limit {100 * args.max_event_ratio:.0f}%)",
+                    file=sys.stderr,
+                )
+    print(format_table(rows, title="sample-check (sampled vs exact)"))
+    if status == 0:
+        print("[sample-check] all error bounds cover the observed error",
+              file=sys.stderr)
+    return status
+
+
+# ----------------------------------------------------------------------
 # cache: inspect and maintain the content-addressed result store
 # ----------------------------------------------------------------------
 def cmd_cache(args) -> int:
@@ -480,6 +574,11 @@ def build_parser() -> argparse.ArgumentParser:
                          help="seconds before an unreleased claim from a "
                               "crashed worker is re-run by survivors "
                               "(default 60)")
+        cmd.add_argument("--sampling", type=float, default=None, metavar="F",
+                         help="sampled simulation: run F (0<F<1) of each "
+                              "sampleable workload's rounds and extrapolate "
+                              "with error bounds; approximate, never cached "
+                              "(see `repro sample-check`)")
 
     run = sub.add_parser("run", help="run one experiment and print its table")
     run.add_argument("experiment", help="e.g. fig11, table1, ext_rwlock")
@@ -547,6 +646,29 @@ def build_parser() -> argparse.ArgumentParser:
                             "bit-identical to the plain run (exit 1 if not)")
     add_runner_flags(corun)
 
+    check = sub.add_parser(
+        "sample-check",
+        help="verify sampled-mode error bounds against an exact run",
+    )
+    check.add_argument("--primitives", metavar="P,Q,...",
+                       help="primitive scenarios (default lock when no "
+                            "--structures given)")
+    check.add_argument("--structures", metavar="S,T,...",
+                       help="data-structure scenarios, e.g. stack,queue")
+    check.add_argument("--mechanisms", metavar="M,N,...",
+                       help="mechanisms to check (default syncron)")
+    check.add_argument("--fraction", type=float, default=0.125,
+                       help="sampling fraction to validate (default 0.125)")
+    check.add_argument("--rounds", type=int, default=96,
+                       help="full round count M of each scenario (default 96)")
+    check.add_argument("--interval", type=int, default=200,
+                       help="instruction interval for primitives (default 200)")
+    check.add_argument("--preset", default="ndp_2_5d",
+                       help="base SystemConfig preset (default ndp_2_5d)")
+    check.add_argument("--max-event-ratio", type=float, default=0.25,
+                       help="fail if sampled runs execute more than this "
+                            "fraction of the exact run's events (default 0.25)")
+
     cache = sub.add_parser(
         "cache",
         help="inspect/maintain the content-addressed result store",
@@ -578,6 +700,7 @@ def main(argv: List[str] = None) -> int:
     args = build_parser().parse_args(argv)
     handler = {"list": cmd_list, "run": cmd_run, "sweep": cmd_sweep,
                "corun": cmd_corun, "cache": cmd_cache,
+               "sample-check": cmd_sample_check,
                "quickstart": cmd_quickstart}
     return handler[args.command](args)
 

@@ -77,6 +77,11 @@ class ExecutionOptions:
     worker_id: Optional[str] = None
     #: seconds before an unreleased claim is considered dead and re-run.
     lease_ttl: float = 60.0
+    #: sampled-simulation fraction in (0, 1): sampleable workloads run
+    #: shortened (see :mod:`repro.harness.sampling`) and return extrapolated
+    #: metrics with error bounds.  Forces the cache off and the local
+    #: single-worker path — approximations are never stored.
+    sampling: Optional[float] = None
 
     # Back-compat alias: PR-2 called worker processes "jobs".
     @property
@@ -97,7 +102,7 @@ _OPTIONS = ExecutionOptions()
 
 #: ExecutionOptions fields settable through the helpers below.
 _OPTION_FIELDS = ("workers", "cache", "cache_dir", "store", "worker_id",
-                  "lease_ttl")
+                  "lease_ttl", "sampling")
 
 
 def set_execution_options(jobs: Optional[int] = None,
@@ -106,7 +111,8 @@ def set_execution_options(jobs: Optional[int] = None,
                           store: Optional[str] = None,
                           worker_id: Optional[str] = None,
                           lease_ttl: Optional[float] = None,
-                          workers: Optional[int] = None) -> None:
+                          workers: Optional[int] = None,
+                          sampling: Optional[float] = None) -> None:
     if workers is None:
         workers = jobs
     if workers is not None:
@@ -125,6 +131,14 @@ def set_execution_options(jobs: Optional[int] = None,
         if lease_ttl <= 0:
             raise ValueError("lease_ttl must be > 0")
         _OPTIONS.lease_ttl = lease_ttl
+    if sampling is not None:
+        # 0 (or any falsy value) means "turn sampling back off".
+        if not sampling:
+            _OPTIONS.sampling = None
+        else:
+            if not 0.0 < sampling < 1.0:
+                raise ValueError("sampling fraction must be in (0, 1)")
+            _OPTIONS.sampling = float(sampling)
 
 
 def get_execution_options() -> ExecutionOptions:
@@ -137,13 +151,15 @@ def execution_options(jobs: Optional[int] = None, cache: Optional[bool] = None,
                       store: Optional[str] = None,
                       worker_id: Optional[str] = None,
                       lease_ttl: Optional[float] = None,
-                      workers: Optional[int] = None):
+                      workers: Optional[int] = None,
+                      sampling: Optional[float] = None):
     """Temporarily override the active execution policy."""
     previous = replace(_OPTIONS)
     try:
         set_execution_options(jobs=jobs, cache=cache, cache_dir=cache_dir,
                               store=store, worker_id=worker_id,
-                              lease_ttl=lease_ttl, workers=workers)
+                              lease_ttl=lease_ttl, workers=workers,
+                              sampling=sampling)
         yield _OPTIONS
     finally:
         for name in _OPTION_FIELDS:
@@ -212,7 +228,22 @@ def _scale_env(scale: str):
 
 
 def execute_spec(spec: RunSpec) -> Dict:
-    """Run one spec and return its store record body (kind + result)."""
+    """Run one spec and return its store record body (kind + result).
+
+    When the active :class:`ExecutionOptions` carry a ``sampling`` fraction
+    and the spec's workload is sampleable, the run is shortened and
+    extrapolated (:mod:`repro.harness.sampling`); the record then carries a
+    ``"sampling"`` report and must never be cached — :func:`run_specs`
+    guarantees that by forcing the cache off while sampling is active.
+    Non-sampleable specs run exactly, sampling or not.
+    """
+    from repro.harness.sampling import run_sampled, supports_sampling
+
+    fraction = get_execution_options().sampling
+    if fraction is not None and supports_sampling(spec):
+        metrics, report = run_sampled(spec, fraction)
+        return {"kind": "metrics", "result": metrics.as_dict(),
+                "spec": spec.describe(), "sampling": report}
     with _scale_env(spec.scale):
         config = spec.config()
         if spec.is_measurement():
@@ -338,6 +369,13 @@ def run_specs(specs: Sequence[RunSpec], jobs: Optional[int] = None,
     lease_ttl = options.lease_ttl if lease_ttl is None else lease_ttl
     if workers < 1:
         raise ValueError("workers must be >= 1")
+    if options.sampling is not None:
+        # Sampled runs are approximations: never let them into the durable
+        # store, and keep execution in this process (worker subprocesses
+        # would re-import the module and lose the sampling option).
+        use_cache = False
+        workers = 1
+        worker_id = None
 
     keys = [spec.cache_key() for spec in specs]
     result_store: Optional[ResultStore] = None

@@ -1,0 +1,262 @@
+"""Sampled simulation: run K of M work rounds, extrapolate, bound the error.
+
+Pure-Python cycle simulation costs ~10^5-10^6 events/s, so an exact run of a
+long steady-state workload spends most of its wall-clock repeating the same
+behaviour.  This module trades exactness for time **explicitly**: it executes
+two shortened runs of a workload whose length is controlled by one integer
+knob (the *round count*), fits a per-round marginal rate to every additive
+counter, extrapolates to the full length, and reports a conservative error
+bound per counter alongside each estimate.
+
+Only workloads whose length is a plain-data constructor knob are sampleable
+(:data:`SAMPLE_KNOBS`): ``primitive`` (``rounds``) and ``structure``
+(``ops_per_core``).  Everything else — graph apps, co-runs, measurements —
+runs exactly even when sampling is enabled, and the record says so.
+
+The model
+---------
+Steady-state counters are affine in the round count: ``c(K) = a + r*K``
+where ``a`` is startup (barrier setup, cache warmup, first-touch DRAM rows)
+and ``r`` the steady per-round rate.  Three shortened runs pin the model::
+
+    K2 = ceil(fraction * M)    K1 = max(2, K2 // 2)    K0 = max(1, K1 // 2)
+    r  = (c2 - c1) / (K2 - K1)          # late marginal rate
+    estimate(M) = c2 + r * (M - K2)
+
+If the counter really is affine the estimate is exact.  The reported bound
+combines two signals of non-affinity, both zero for a pure steady-state
+counter:
+
+- *startup dispersion* — how far the marginal rate ``r`` disagrees with the
+  average rate ``c2 / K2`` (a big constant ``a`` makes extrapolation from
+  averages unreliable), and
+- *rate drift* — how much the marginal rate itself moved between the early
+  window (K0 -> K1) and the late window (K1 -> K2), extrapolated
+  quadratically (a data structure filling up makes each round costlier,
+  which a straight line underestimates)::
+
+    drift  = (r - r_early) / ((K2 - K0) / 2)           # per round^2
+    bound  = safety * ((M - K2) * |r - c2/K2|
+                       + 0.5 * |drift| * (M - K2)^2)
+             + rel_floor * |estimate| + abs_floor
+
+Counters that are levels rather than accumulations (``*_pct`` occupancy and
+overflow ratios) are not extrapolated: the estimate is the K2 value and the
+bound is the worst observed drift across the three sampled runs, same
+floors.
+
+Sampled results are **never cached**: the content-addressed store must only
+ever hold exact physics (:mod:`repro.harness.runner` forces the cache off
+and the single-worker path on while a sampling fraction is active).
+``repro sample-check`` runs sampled-vs-exact side by side and fails if any
+counter's observed error escapes its reported bound.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import math
+import os
+from typing import Any, Dict, Optional, Tuple
+
+from repro.harness.specs import RunSpec
+from repro.sim.energy import EnergyBreakdown
+from repro.workloads.base import RunMetrics, run_workload
+
+#: sampleable workload -> the constructor knob that scales its length.
+SAMPLE_KNOBS: Dict[str, str] = {
+    "primitive": "rounds",
+    "structure": "ops_per_core",
+}
+
+#: default bound parameters (deliberately conservative: the promise is
+#: coverage, not tightness — tuned so seed-driven op mixes like the
+#: hashtable's stay covered, see `repro sample-check --structures`).
+SAFETY = 3.0
+REL_FLOOR = 0.02
+ABS_FLOOR = 8.0
+
+
+@contextlib.contextmanager
+def _pinned_scale(scale: str):
+    """Pin REPRO_SCALE so knob defaults resolve as the spec captured them."""
+    previous = os.environ.get("REPRO_SCALE")
+    os.environ["REPRO_SCALE"] = scale
+    try:
+        yield
+    finally:
+        if previous is None:
+            os.environ.pop("REPRO_SCALE", None)
+        else:
+            os.environ["REPRO_SCALE"] = previous
+
+
+def supports_sampling(spec: RunSpec) -> bool:
+    """True when ``spec``'s workload has a round-count knob to shorten."""
+    return not spec.is_measurement() and spec.workload in SAMPLE_KNOBS
+
+
+def resolve_rounds(spec: RunSpec) -> int:
+    """The full round count M the spec would run (explicit arg or default).
+
+    Defaults are resolved under the spec's captured ``scale`` so the answer
+    matches what the exact run would actually do.
+    """
+    knob = SAMPLE_KNOBS[spec.workload]
+    args = spec.args_dict()
+    if args.get(knob) is not None:
+        return int(args[knob])
+    with _pinned_scale(spec.scale):
+        if spec.workload == "primitive":
+            return 50  # PrimitiveMicrobench's constructor default
+        from repro.workloads.base import scaled
+        from repro.workloads.datastructures import ALL_STRUCTURES
+
+        cls = ALL_STRUCTURES[args["structure"]]
+        return scaled(cls.DEFAULT_OPS)
+
+
+def sample_plan(total: int, fraction: float) -> Tuple[int, int, int]:
+    """The three sampled round counts (K0, K1, K2) for length ``total``."""
+    if not 0.0 < fraction < 1.0:
+        raise ValueError(f"sampling fraction must be in (0, 1), got {fraction}")
+    k2 = min(max(3, math.ceil(total * fraction)), total)
+    k1 = max(2, k2 // 2)
+    k0 = max(1, k1 // 2)
+    if not k0 < k1 < k2 < total:
+        raise ValueError(
+            f"cannot sample {fraction} of {total} rounds: need "
+            f"1 <= K0 < K1 < K2 < M (got K0={k0}, K1={k1}, K2={k2})"
+        )
+    return k0, k1, k2
+
+
+def _reduced_spec(spec: RunSpec, rounds: int) -> RunSpec:
+    args = spec.args_dict()
+    args[SAMPLE_KNOBS[spec.workload]] = rounds
+    return RunSpec.make(
+        spec.workload, mechanism=spec.mechanism, args=args,
+        preset=spec.preset, overrides=spec.overrides_dict(),
+        seed=spec.seed, run_scale=spec.scale,
+    )
+
+
+def _is_level(name: str) -> bool:
+    """Level counters (occupancy %, ratios) are carried, not extrapolated."""
+    return name.endswith("_pct") or name.endswith("fairness")
+
+
+def flatten_metrics(metrics: RunMetrics) -> Dict[str, float]:
+    """Every numeric counter of a run under one flat namespace."""
+    flat: Dict[str, float] = {
+        "cycles": float(metrics.cycles),
+        "operations": float(metrics.operations),
+        "energy.cache_pj": metrics.energy.cache_pj,
+        "energy.network_pj": metrics.energy.network_pj,
+        "energy.memory_pj": metrics.energy.memory_pj,
+        "bytes_inside_units": float(metrics.bytes_inside_units),
+        "bytes_across_units": float(metrics.bytes_across_units),
+        "sync_requests": float(metrics.sync_requests),
+        "overflow_request_pct": metrics.overflow_request_pct,
+        "st_occupancy_max_pct": metrics.st_occupancy_max_pct,
+        "st_occupancy_avg_pct": metrics.st_occupancy_avg_pct,
+    }
+    for key, value in metrics.stats.items():
+        if isinstance(value, (int, float)):
+            flat[f"stats.{key}"] = float(value)
+    return flat
+
+
+def extrapolate(c0: float, c1: float, c2: float, k0: int, k1: int, k2: int,
+                total: int, level: bool,
+                safety: float = SAFETY) -> Tuple[float, float]:
+    """One counter's (estimate, error bound) at ``total`` rounds."""
+    if level:
+        estimate = c2
+        bound = safety * max(abs(c2 - c1), abs(c1 - c0))
+    else:
+        rate = (c2 - c1) / (k2 - k1)
+        early_rate = (c1 - c0) / (k1 - k0)
+        drift = (rate - early_rate) / ((k2 - k0) / 2.0)
+        estimate = c2 + rate * (total - k2)
+        tail = total - k2
+        bound = safety * (tail * abs(rate - c2 / k2)
+                          + 0.5 * abs(drift) * tail * tail)
+    return estimate, bound + REL_FLOOR * abs(estimate) + ABS_FLOOR
+
+
+def _rebuild_metrics(spec: RunSpec, base: RunMetrics,
+                     counters: Dict[str, Dict[str, float]]) -> RunMetrics:
+    """An extrapolated RunMetrics shaped exactly like an exact run's."""
+    def est(name: str) -> float:
+        return counters[name]["estimate"]
+
+    stats = dict(base.stats)
+    for name, cell in counters.items():
+        if name.startswith("stats."):
+            stats[name[len("stats."):]] = cell["estimate"]
+    return RunMetrics(
+        mechanism=base.mechanism,
+        cycles=max(int(round(est("cycles"))), 0),
+        operations=max(int(round(est("operations"))), 0),
+        energy=EnergyBreakdown(
+            cache_pj=est("energy.cache_pj"),
+            network_pj=est("energy.network_pj"),
+            memory_pj=est("energy.memory_pj"),
+        ),
+        bytes_inside_units=max(int(round(est("bytes_inside_units"))), 0),
+        bytes_across_units=max(int(round(est("bytes_across_units"))), 0),
+        sync_requests=max(int(round(est("sync_requests"))), 0),
+        overflow_request_pct=est("overflow_request_pct"),
+        st_occupancy_max_pct=est("st_occupancy_max_pct"),
+        st_occupancy_avg_pct=est("st_occupancy_avg_pct"),
+        stats=stats,
+    )
+
+
+def run_sampled(spec: RunSpec, fraction: float,
+                safety: float = SAFETY) -> Tuple[RunMetrics, Dict[str, Any]]:
+    """Execute ``spec`` in sampled mode.
+
+    Returns the extrapolated :class:`RunMetrics` plus a report dict with
+    the sampling plan, the simulation effort actually spent
+    (``executed_events``), and per-counter ``{"estimate", "bound"}`` cells.
+    Raises :class:`ValueError` when the spec is not sampleable or the
+    fraction leaves no room for two distinct sample points.
+    """
+    if not supports_sampling(spec):
+        raise ValueError(
+            f"workload {spec.workload!r} is not sampleable; "
+            f"choose from {sorted(SAMPLE_KNOBS)}"
+        )
+    total = resolve_rounds(spec)
+    plan = sample_plan(total, fraction)
+    with _pinned_scale(spec.scale):
+        config = spec.config()
+        runs = [
+            run_workload(_reduced_spec(spec, k).build_workload,
+                         config, spec.mechanism)
+            for k in plan
+        ]
+    flats = [flatten_metrics(run) for run in runs]
+    k0, k1, k2 = plan
+    counters = {}
+    for name in flats[2]:
+        estimate, bound = extrapolate(
+            flats[0].get(name, 0.0), flats[1].get(name, 0.0), flats[2][name],
+            k0, k1, k2, total, level=_is_level(name), safety=safety,
+        )
+        counters[name] = {"estimate": estimate, "bound": bound}
+    executed = int(sum(f["stats.kernel.events_processed"] for f in flats))
+    metrics = _rebuild_metrics(spec, runs[2], counters)
+    report = {
+        "sampled": True,
+        "knob": SAMPLE_KNOBS[spec.workload],
+        "total_rounds": total,
+        "sampled_rounds": list(plan),
+        "fraction": fraction,
+        "safety": safety,
+        "executed_events": executed,
+        "counters": counters,
+    }
+    return metrics, report

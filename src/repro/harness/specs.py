@@ -44,11 +44,14 @@ from repro.workloads.timeseries import DATASETS as TS_DATASET_NAMES, TimeSeriesW
 from repro.workloads.unionfind import UnionFindWorkload
 
 #: bump to invalidate every cached result (simulator behaviour changes are
-#: NOT part of the cache key — see EXPERIMENTS.md).
-CACHE_FORMAT_VERSION = 1
+#: NOT part of the cache key — see EXPERIMENTS.md).  v2: the spin baselines
+#: (rmw_spin/bakery) moved from explicit poll chains to wait-channels with
+#: analytically-charged elided polls, changing their reference numbers.
+CACHE_FORMAT_VERSION = 2
 
 #: CLI-friendly aliases for SystemConfig override fields.
 CONFIG_ALIASES = {
+    "elide": "elide_waits",
     "link_latency": "link_latency_ns",
     "st": "st_entries",
     "topo": "topology",

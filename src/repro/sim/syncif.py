@@ -11,9 +11,12 @@ when the core may proceed.
 from __future__ import annotations
 
 import itertools
-from typing import Callable, Optional, Protocol, runtime_checkable
+from typing import TYPE_CHECKING, Callable, Dict, Optional, Protocol, Tuple, runtime_checkable
 
 from repro.sim.program import OP_KINDS
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.engine import WaitChannel
 
 
 class SyncUsageError(RuntimeError):
@@ -136,3 +139,46 @@ class MechanismBase:
         raise NotImplementedError(
             f"mechanism {self.name!r} has no atomic rmw support"
         )
+
+
+class SpinWaitMixin:
+    """Wait-channel plumbing shared by the spin baselines (rmw_spin, bakery).
+
+    Both baselines used to model waiting as explicit poll -> fail ->
+    reschedule event chains.  They now park on kernel
+    :class:`~repro.sim.engine.WaitChannel` objects instead: one channel per
+    ``(variable address, tag)`` pair, signalled whenever the guarded state
+    the tag stands for actually changes.  A woken core re-checks its
+    condition with one *real*, fully-charged attempt and re-parks if it
+    lost the race, so contention behaviour (thundering herds, hotspot
+    queueing at the home unit) is still resolved by real messages — only
+    the provably-futile polls in between are elided, with their traffic
+    and energy charged analytically by the owning mechanism.
+
+    Signalling is conservative: a state change may wake waiters it cannot
+    satisfy (spurious wakeups, resolved by the real re-check).  The rule
+    that matters for liveness is the converse — any change a waiter could
+    be waiting for *must* signal its channel — plus the ``seen`` snapshot
+    protocol (see :meth:`WaitChannel.wait`) for the window between a failed
+    attempt's observation and its wait registration.
+    """
+
+    def _init_spin_channels(self) -> None:
+        self._spin_channels: Dict[Tuple[int, str], "WaitChannel"] = {}
+
+    def _spin_channel(self, addr: int, tag: str) -> "WaitChannel":
+        """The (lazily-created) wait-channel for ``(addr, tag)``.
+
+        Signallers get-or-create too: the channel's ``signals`` counter
+        must advance even when nobody is parked yet, or the ``seen``
+        lost-wakeup guard could not see the miss.
+        """
+        key = (addr, tag)
+        channel = self._spin_channels.get(key)
+        if channel is None:
+            channel = self.sim.channel(f"{self.name}:{addr:#x}:{tag}")
+            self._spin_channels[key] = channel
+        return channel
+
+    def _spin_signal(self, addr: int, tag: str) -> None:
+        self._spin_channel(addr, tag).signal()

@@ -79,7 +79,7 @@ class NDPSystem:
     def __init__(self, config: SystemConfig, mechanism: str = "syncron"):
         config.validate()
         self.config = config
-        self.sim = Simulator()
+        self.sim = Simulator(elide_waits=config.elide_waits)
         self.stats = SystemStats()
         self.addrmap = AddressMap(
             config.num_units, config.unit_memory_bytes, config.cache_line_bytes

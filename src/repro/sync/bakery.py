@@ -51,40 +51,84 @@ from repro.sim.program import (
     SEM_POST,
     SEM_WAIT,
 )
-from repro.sim.syncif import MechanismBase, SyncVar, _no_waiter
+from repro.sim.memsys import REQUEST_BYTES
+from repro.sim.stats import charge_elided_transfer
+from repro.sim.syncif import MechanismBase, SpinWaitMixin, SyncVar, _no_waiter
 
 #: bytes of one word-grain uncacheable access (header + payload).
 WORD_BYTES = 16
 
 
 class _BakeryLockState:
-    """Logical state of one bakery lock: ticket order is FIFO."""
+    """Logical state of one bakery lock: ticket order is FIFO.
 
-    __slots__ = ("next_ticket", "owner", "queue")
+    Ownership is per *ticket*, not per core: one core can have several
+    acquisitions of the same lock in flight at once (an async ``sem_post``
+    plus the next ``sem_wait`` both take the guard lock), and each must be
+    granted exactly once.  Tracking the owner by core id let every parked
+    attempt of the owning core believe it held the lock, enter the critical
+    section, and double-release.
+    """
+
+    __slots__ = ("next_ticket", "owner", "owner_core", "queue", "held")
 
     def __init__(self) -> None:
         self.next_ticket = 1
+        #: ticket currently in the critical section (None = free).
         self.owner: Optional[int] = None
-        self.queue: Deque[int] = deque()
+        self.owner_core: Optional[int] = None
+        #: parked acquisitions, FIFO: (ticket, core_id).
+        self.queue: Deque[Tuple[int, int]] = deque()
+        #: granted-but-unreleased tickets per core, in grant order.
+        self.held: Dict[int, Deque[int]] = {}
 
-    def take_ticket(self, core_id: int) -> bool:
-        """Join the bakery line; returns True when the line was empty."""
+    def take_ticket(self, core_id: int) -> int:
+        """Join the bakery line; returns this acquisition's ticket.
+
+        The caller learns whether it was granted immediately by comparing
+        ``state.owner`` to the returned ticket.
+        """
+        ticket = self.next_ticket
+        self.next_ticket += 1
         if self.owner is None and not self.queue:
-            self.owner = core_id
-            return True
-        self.queue.append(core_id)
-        return False
+            self._grant(ticket, core_id)
+        else:
+            self.queue.append((ticket, core_id))
+        return ticket
+
+    def _grant(self, ticket: int, core_id: int) -> None:
+        self.owner = ticket
+        self.owner_core = core_id
+        self.held.setdefault(core_id, deque()).append(ticket)
 
     def release(self, core_id: int) -> None:
-        if self.owner != core_id:
+        held = self.held.get(core_id)
+        if not held or self.owner != held[0]:
             raise RuntimeError(
-                f"core {core_id} released a bakery lock owned by {self.owner}"
+                f"core {core_id} released a bakery lock owned by core "
+                f"{self.owner_core} (ticket {self.owner})"
             )
-        self.owner = self.queue.popleft() if self.queue else None
+        held.popleft()
+        if not held:
+            del self.held[core_id]
+        if self.queue:
+            self._grant(*self.queue.popleft())
+        else:
+            self.owner = None
+            self.owner_core = None
 
 
-class BakeryMechanism(MechanismBase):
-    """Software synchronization from loads/stores only (``bakery``)."""
+class BakeryMechanism(SpinWaitMixin, MechanismBase):
+    """Software synchronization from loads/stores only (``bakery``).
+
+    Waiting is wait-channel based (no event per poll): doorway scanners
+    park on the per-variable ``"L"`` channel, signalled by every lock
+    release; state-word pollers park on the ``"W"`` channel, signalled
+    whenever a guarded critical section actually changes a word.  A woken
+    core runs one real, fully-charged rescan/attempt; the elided rounds in
+    between are charged analytically (a virtual scan still pays its
+    ``2N``-load traffic — the O(N) bakery wall survives elision).
+    """
 
     name = "bakery"
 
@@ -94,7 +138,14 @@ class BakeryMechanism(MechanismBase):
         #: state words for barrier/semaphore/condvar (addr, field) -> value.
         self._words: Dict[Tuple[int, str], int] = {}
         self._sem_initialized: Dict[int, bool] = {}
+        #: per-core duration of the most recent charged access sequence —
+        #: the physical length of one poll, folded into the virtual period.
+        self._seq_cycles: Dict[int, int] = {}
         self.scan_rounds = 0
+        #: set by :meth:`_set_word` inside a critical section's observe
+        #: hook; tells :meth:`_guarded_update` to signal the "W" channel.
+        self._mutated = False
+        self._init_spin_channels()
 
     # ------------------------------------------------------------------
     # Memory-access cost model
@@ -123,7 +174,63 @@ class BakeryMechanism(MechanismBase):
             self.stats.sync_messages_local += loads + stores
         else:
             self.stats.sync_messages_global += loads + stores
+        self._seq_cycles[core.core_id] = cursor - self.sim.now
         self.sim.schedule_at(cursor, done)
+
+    def _charge_elided_loads(self, core, var: SyncVar, count: int) -> None:
+        """Analytic traffic/energy of ``count`` elided uncacheable loads.
+
+        Mirrors what ``count`` real polls through ``memsys.access`` plus
+        :meth:`_charge_sequence`'s message accounting would charge (request
+        + word response to the home unit, one DRAM read each, charged as
+        row hits), without touching bank/link reservation state.
+        """
+        stats = self.stats
+        stats.active = getattr(core, "tstats", None)
+        tenant = stats.active
+        home = var.unit
+        local = core.unit_id == home
+        if local:
+            stats.sync_messages_local += count
+            link_hops = 0
+        else:
+            stats.sync_messages_global += count
+            link_hops = self.interconnect.remote_hops(core.unit_id, home)
+        local_hops = self.config.local_hops
+        charge_elided_transfer(stats, REQUEST_BYTES, count, local,
+                               local_hops, link_hops)
+        charge_elided_transfer(stats, REQUEST_BYTES + 8, count, local,
+                               local_hops, link_hops)
+        stats.dram_reads += count
+        stats.dram_row_hits += count
+        stats.sync_memory_accesses += count
+        if tenant is not None:
+            tenant.sync_memory_accesses += count
+
+    def _set_word(self, var: SyncVar, field: str, value: int) -> None:
+        """Write a state word from inside a critical section's observe
+        hook, flagging the change so the section signals waiters."""
+        key = (var.addr, field)
+        if self._words.get(key, 0) != value:
+            self._words[key] = value
+            self._mutated = True
+
+    @property
+    def _backoff(self) -> int:
+        return max(self.config.spin_backoff_cycles, 1)
+
+    def _virtual_period(self, core) -> int:
+        """Spacing between one waiter's virtual polls.
+
+        The explicit chain re-polls one backoff after the previous poll's
+        charged access sequence *completed* — a scan cannot overlap itself —
+        so the honest period is that sequence's measured duration (the
+        core's most recent :meth:`_charge_sequence`, which at every wait
+        site is exactly the scan/probe being repeated) plus the backoff.
+        Pacing virtual polls at the bare backoff would count and charge
+        polls faster than the in-order core could physically issue them.
+        """
+        return self._seq_cycles.get(core.core_id, 1) + self._backoff
 
     @property
     def _n(self) -> int:
@@ -178,13 +285,13 @@ class BakeryMechanism(MechanismBase):
     # ------------------------------------------------------------------
     def _lock_acquire(self, core, var, callback) -> None:
         state = self._lock_state(var.addr)
-        granted = state.take_ticket(core.core_id)
+        ticket = state.take_ticket(core.core_id)
         n = self._n
 
         # Doorway: choosing[i]=1, read N numbers, number[i]=max+1,
         # choosing[i]=0 — 2 stores + N loads + 1 store.
         def after_doorway() -> None:
-            if state.owner == core.core_id:
+            if state.owner == ticket:
                 # First scan still walks every rival once.
                 self._charge_sequence(core, var, loads=2 * n, stores=0, done=callback)
             else:
@@ -195,23 +302,39 @@ class BakeryMechanism(MechanismBase):
             self.stats.extra["bakery_scans"] += 1
 
             def after_scan() -> None:
-                if state.owner == core.core_id:
+                if state.owner == ticket:
                     callback()
                 else:
-                    self.sim.schedule(
-                        max(self.config.spin_backoff_cycles, 1), scan
-                    )
+                    # Ownership can only change on a release, which signals
+                    # the "L" channel; park instead of rescanning blind.
+                    # The decision and the wait share this event frame, so
+                    # no ``seen`` guard is needed.
+                    channel = self._spin_channel(var.addr, "L")
+                    delay = self._virtual_period(core)
+                    channel.wait(self._scan_woken, delay, delay,
+                                 core, var, scan)
 
             self._charge_sequence(core, var, loads=2 * n, stores=0, done=after_scan)
 
-        del granted  # ownership is re-checked after the charged doorway
         self._charge_sequence(core, var, loads=n, stores=3, done=after_doorway)
+
+    def _scan_woken(self, rounds: int, core, var, scan) -> None:
+        """Account ``rounds`` elided doorway scans, then rescan for real."""
+        if rounds:
+            self.scan_rounds += rounds
+            self.stats.extra["bakery_scans"] += rounds
+            self._charge_elided_loads(core, var, 2 * self._n * rounds)
+        scan()
 
     def _lock_release(self, core, var, callback) -> None:
         state = self._lock_state(var.addr)
 
         def after_store() -> None:
             state.release(core.core_id)
+            # Wake every doorway scanner: each rescans once for real and
+            # only the new FIFO owner proceeds — the O(N) release herd the
+            # bakery algorithm is measured for.
+            self._spin_signal(var.addr, "L")
             callback()
 
         # number[i] = 0: one store.
@@ -231,9 +354,17 @@ class BakeryMechanism(MechanismBase):
             key = (var.addr, field)
             old = self._words.get(key, 0)
             new = fn(old)
-            self._words[key] = new
+            changed = new != old
+            if changed:
+                self._words[key] = new
+            self._mutated = False
             if observe is not None:
                 observe(old, new)
+            if changed or self._mutated:
+                # A state word actually changed: wake the pollers.  Failed
+                # attempts (identity updates) stay silent, so losing races
+                # cannot cascade into wake storms.
+                self._spin_signal(var.addr, "W")
             # read + write of the state word, then release.
             self._charge_sequence(core, var, loads=1, stores=1, done=release)
 
@@ -245,16 +376,28 @@ class BakeryMechanism(MechanismBase):
     def _poll_until(self, core, var, field: str,
                     satisfied: Callable[[int], bool], callback) -> None:
         """Spin-load the state word until ``satisfied(value)``."""
+        channel = self._spin_channel(var.addr, "W")
+
         def poll() -> None:
             def after_load() -> None:
                 if satisfied(self._words.get((var.addr, field), 0)):
                     callback()
                 else:
+                    # Decision and wait share this frame: no seen guard.
                     self.stats.extra["bakery_polls"] += 1
-                    self.sim.schedule(max(self.config.spin_backoff_cycles, 1), poll)
+                    delay = self._virtual_period(core)
+                    channel.wait(self._poll_woken, delay, delay,
+                                 core, var, poll)
 
             self._charge_sequence(core, var, loads=1, stores=0, done=after_load)
 
+        poll()
+
+    def _poll_woken(self, polls: int, core, var, poll) -> None:
+        """Account ``polls`` elided word loads, then poll once for real."""
+        if polls:
+            self.stats.extra["bakery_polls"] += polls
+            self._charge_elided_loads(core, var, polls)
         poll()
 
     # ------------------------------------------------------------------
@@ -268,9 +411,9 @@ class BakeryMechanism(MechanismBase):
             if new >= expected:
                 # Last arriver: reset count, bump generation (still inside
                 # the critical section, so no extra lock round).
-                self._words[(var.addr, "count")] = 0
-                gen_key = (var.addr, "gen")
-                self._words[gen_key] = self._words.get(gen_key, 0) + 1
+                self._set_word(var, "count", 0)
+                self._set_word(var, "gen",
+                               self._words.get((var.addr, "gen"), 0) + 1)
                 arrival_outcome["last"] = True
             else:
                 arrival_outcome["generation"] = self._words.get((var.addr, "gen"), 0)
@@ -294,19 +437,25 @@ class BakeryMechanism(MechanismBase):
             self._sem_initialized[var.addr] = True
             self._words[(var.addr, "sem")] = initial
 
+        channel = self._spin_channel(var.addr, "W")
+
         def attempt() -> None:
-            outcome: Dict[str, bool] = {}
+            outcome: Dict[str, int] = {}
 
             def on_value(old: int, _new: int) -> None:
                 outcome["granted"] = old > 0
+                # The sem word was *observed* in this frame; snapshot for
+                # the lost-wakeup guard — a post completing between our
+                # critical section and the wait registration must wake us.
+                outcome["seen"] = channel.signals
 
             def after_update() -> None:
                 if outcome["granted"]:
                     callback()
                 else:
-                    self.sim.schedule(
-                        max(self.config.spin_backoff_cycles, 1), attempt
-                    )
+                    delay = self._virtual_period(core)
+                    channel.wait(self._poll_woken, delay, delay,
+                                 core, var, attempt, seen=outcome["seen"])
 
             self._guarded_update(
                 core, var, "sem",
@@ -373,21 +522,24 @@ class BakeryMechanism(MechanismBase):
     # Reader-writer lock: readers/writer words guarded by the bakery lock
     # ------------------------------------------------------------------
     def _rw_acquire(self, core, var, callback, write: bool) -> None:
+        channel = self._spin_channel(var.addr, "W")
+
         def attempt() -> None:
-            outcome: Dict[str, bool] = {}
+            outcome: Dict[str, int] = {}
 
             def try_take(_old: int, _new: int) -> None:
                 readers = self._words.get((var.addr, "readers"), 0)
                 writer = self._words.get((var.addr, "writer"), 0)
+                outcome["seen"] = channel.signals
                 if write:
                     if readers == 0 and writer == 0:
-                        self._words[(var.addr, "writer")] = 1
+                        self._set_word(var, "writer", 1)
                         outcome["granted"] = True
                     else:
                         outcome["granted"] = False
                 else:
                     if writer == 0:
-                        self._words[(var.addr, "readers")] = readers + 1
+                        self._set_word(var, "readers", readers + 1)
                         outcome["granted"] = True
                     else:
                         outcome["granted"] = False
@@ -396,9 +548,9 @@ class BakeryMechanism(MechanismBase):
                 if outcome["granted"]:
                     callback()
                 else:
-                    self.sim.schedule(
-                        max(self.config.spin_backoff_cycles, 1), attempt
-                    )
+                    delay = self._virtual_period(core)
+                    channel.wait(self._poll_woken, delay, delay,
+                                 core, var, attempt, seen=outcome["seen"])
 
             # The guarded field is irrelevant (identity update); try_take
             # inspects and mutates both rw words inside the critical section.
@@ -416,7 +568,7 @@ class BakeryMechanism(MechanismBase):
 
     def lock_owner(self, var: SyncVar) -> Optional[int]:
         state = self._locks.get(var.addr)
-        return state.owner if state else None
+        return state.owner_core if state else None
 
     def destroy_var(self, var: SyncVar) -> None:
         self._locks.pop(var.addr, None)

@@ -58,7 +58,8 @@ from repro.sim.program import (
     SEM_POST,
     SEM_WAIT,
 )
-from repro.sim.syncif import MechanismBase, SyncVar, _no_waiter
+from repro.sim.stats import charge_elided_transfer
+from repro.sim.syncif import MechanismBase, SpinWaitMixin, SyncVar, _no_waiter
 
 #: bytes of an rmw request / response message (address + opcode + operand).
 RMW_REQUEST_BYTES = 18
@@ -117,8 +118,17 @@ class AtomicUnit:
         return start, start + service
 
 
-class RemoteAtomicsMechanism(MechanismBase):
-    """Spin-wait synchronization over remote atomic units (``rmw_spin``)."""
+class RemoteAtomicsMechanism(SpinWaitMixin, MechanismBase):
+    """Spin-wait synchronization over remote atomic units (``rmw_spin``).
+
+    Waiting cores park on a per-``(addr, field)`` wait-channel instead of
+    scheduling one event per poll; any rmw that actually changes the field
+    signals the channel, and the kernel wakes each waiter at the exact
+    cycle its next backoff-spaced poll would have landed.  The woken core
+    issues one real rmw attempt (full traffic, hotspot queueing at the
+    home :class:`AtomicUnit`); the elided polls in between are charged
+    analytically by :meth:`_charge_elided_polls`.
+    """
 
     name = "rmw_spin"
 
@@ -130,7 +140,11 @@ class RemoteAtomicsMechanism(MechanismBase):
         #: word values held at the controllers, keyed by (addr, field).
         self._fields: Dict[Tuple[int, str], int] = {}
         self._sem_initialized: Dict[int, bool] = {}
+        #: per-core duration of the most recent rmw round trip — the
+        #: physical length of one poll, folded into the virtual period.
+        self._rtt: Dict[int, int] = {}
         self.spin_retries = 0
+        self._init_spin_channels()
 
     # ------------------------------------------------------------------
     # Low-level: one rmw (or pure load) round trip to the home unit
@@ -163,22 +177,82 @@ class RemoteAtomicsMechanism(MechanismBase):
         key = (var.addr, field)
         old = self._fields.get(key, 0)
         if fn is not None:
-            self._fields[key] = fn(old)
+            new = fn(old)
+            if new != old:
+                self._fields[key] = new
+                # The field's observable value changed at this instant in
+                # the legacy polling model too (words mutate at issue
+                # time); wake anyone spin-waiting on it.
+                self._spin_signal(var.addr, field)
         back = self.interconnect.transfer_latency(
             home, core.unit_id, done, RMW_RESPONSE_BYTES
         )
+        self._rtt[core.core_id] = (done + back) - now
         self.sim.schedule_at(done + back, callback, old)
 
-    def _retry(self, core, attempt: Callable[[], None]) -> None:
-        """Schedule the next spin attempt after the configured backoff.
+    def _retry(self, core, var: SyncVar, channel, attempt: Callable[[], None],
+               seen: int) -> None:
+        """Park until ``channel`` is signalled, then re-attempt.
 
-        A small per-core phase offset breaks lockstep so no core can lose
-        every race against an identically-timed rival forever.
+        The virtual polls keep the legacy spin cadence: a retry starts one
+        backoff after the previous attempt's *response arrived*, and its
+        own decision point lands a full round trip later — so the poll
+        period is backoff + the core's measured rmw round trip (pacing at
+        the bare backoff would count polls faster than the core could
+        physically issue them), with a small per-core phase offset
+        breaking lockstep so no core can lose every race against an
+        identically-timed rival forever.  ``seen`` is the caller's
+        ``channel.signals`` snapshot from the attempt's issue frame (the
+        lost-wakeup guard).
         """
         self.spin_retries += 1
         self.stats.extra["spin_retries"] += 1
-        delay = self.config.spin_backoff_cycles + (core.core_id % 7)
-        self.sim.schedule(max(delay, 1), attempt)
+        delay = (self.config.spin_backoff_cycles + (core.core_id % 7)
+                 + self._rtt.get(core.core_id, 0))
+        if delay < 1:
+            delay = 1
+        channel.wait(self._woken, delay, delay, core, var, attempt, seen=seen)
+
+    def _woken(self, polls: int, core, var: SyncVar,
+               attempt: Callable[[], None]) -> None:
+        """Account the elided polls, then run one real attempt."""
+        if polls:
+            self.spin_retries += polls
+            self.stats.extra["spin_retries"] += polls
+            self._charge_elided_polls(core, var, polls)
+        attempt()
+
+    def _charge_elided_polls(self, core, var: SyncVar, count: int) -> None:
+        """Analytic traffic/energy of ``count`` elided spin polls.
+
+        Each virtual poll is what one legacy retry issued: an rmw request
+        and response to the home unit plus one controller-side DRAM read
+        (charged as a row hit — spin polls hammer one open row).  Counters
+        and energy match the legacy charge; reservation state (banks,
+        links, crossbar load) is deliberately untouched — see the model
+        notes in EXPERIMENTS.md.
+        """
+        stats = self.stats
+        stats.active = getattr(core, "tstats", None)
+        tenant = stats.active
+        home = var.unit
+        local = core.unit_id == home
+        if local:
+            stats.sync_messages_local += 2 * count
+            link_hops = 0
+        else:
+            stats.sync_messages_global += 2 * count
+            link_hops = self.interconnect.remote_hops(core.unit_id, home)
+        local_hops = self.config.local_hops
+        charge_elided_transfer(stats, RMW_REQUEST_BYTES, count, local,
+                               local_hops, link_hops)
+        charge_elided_transfer(stats, RMW_RESPONSE_BYTES, count, local,
+                               local_hops, link_hops)
+        stats.dram_reads += count
+        stats.dram_row_hits += count
+        stats.sync_memory_accesses += count
+        if tenant is not None:
+            tenant.sync_memory_accesses += count
 
     # ------------------------------------------------------------------
     # Mechanism interface
@@ -224,14 +298,22 @@ class RemoteAtomicsMechanism(MechanismBase):
     # Lock: test-and-set spin
     # ------------------------------------------------------------------
     def _lock_acquire(self, core, var, callback) -> None:
+        channel = self._spin_channel(var.addr, "lock")
+        seen = 0
+
         def attempt() -> None:
+            nonlocal seen
             self._rmw(core, var, "lock", lambda _old: 1, on_old)
+            # Snapshot after the issue frame's own mutations/signals so a
+            # release landing before the response wakes us (seen guard),
+            # but our own TAS write cannot.
+            seen = channel.signals
 
         def on_old(old: int) -> None:
             if old == 0:
                 callback()
             else:
-                self._retry(core, attempt)
+                self._retry(core, var, channel, attempt, seen)
 
         attempt()
 
@@ -258,15 +340,20 @@ class RemoteAtomicsMechanism(MechanismBase):
                 spin(generation)
 
         def spin(my_generation: int) -> None:
+            channel = self._spin_channel(var.addr, "bar")
+            seen = 0
+
             def poll() -> None:
+                nonlocal seen
                 self._rmw(core, var, "bar", None, on_poll)
+                seen = channel.signals
 
             def on_poll(word: int) -> None:
                 generation, _count = unpack(word)
                 if generation > my_generation:
                     callback()
                 else:
-                    self._retry(core, poll)
+                    self._retry(core, var, channel, poll, seen)
 
             poll()
 
@@ -280,18 +367,35 @@ class RemoteAtomicsMechanism(MechanismBase):
             self._sem_initialized[var.addr] = True
             self._fields[(var.addr, "sem")] = initial
 
+        channel = self._spin_channel(var.addr, "sem")
+        seen = 0
+
         def attempt() -> None:
+            nonlocal seen
             self._rmw(core, var, "sem", None, on_load)
+            seen = channel.signals
 
         def on_load(value: int) -> None:
             if value <= 0:
-                self._retry(core, attempt)
+                self._retry(core, var, channel, attempt, seen)
                 return
-            # CAS(value -> value - 1); succeeds iff nobody raced us.
+
+            def on_cas(old: int) -> None:
+                if old == value:
+                    callback()
+                else:
+                    self._retry(core, var, channel, attempt, seen)
+
+            # CAS(value -> value - 1); succeeds iff nobody raced us.  The
+            # retry guard stays at the *load's* issue-frame snapshot: a
+            # failed CAS means the word changed since that observation, and
+            # any post landing in the load->CAS window must trip the guard
+            # (re-snapshotting here once swallowed a final post and parked
+            # the waiter forever beside a positive semaphore).
             self._rmw(
                 core, var, "sem",
                 lambda cur: cur - 1 if cur == value else cur,
-                lambda old: callback() if old == value else self._retry(core, attempt),
+                on_cas,
             )
 
         attempt()
@@ -314,23 +418,36 @@ class RemoteAtomicsMechanism(MechanismBase):
             )
 
         def spin(my_generation: int) -> None:
+            channel = self._spin_channel(var.addr, "cond")
+            seen = 0
+
             def poll() -> None:
+                nonlocal seen
                 self._rmw(core, var, "cond", None, on_poll)
+                seen = channel.signals
 
             def on_poll(word: int) -> None:
                 generation, credits = unpack(word)
                 if generation > my_generation:
                     reacquire()
                 elif credits > 0:
-                    # CAS-consume one credit.
+                    def on_cas(old: int) -> None:
+                        if old == word:
+                            reacquire()
+                        else:
+                            self._retry(core, var, channel, poll, seen)
+
+                    # CAS-consume one credit.  As with the semaphore, the
+                    # retry guard keeps the poll's issue-frame snapshot so a
+                    # signal landing in the poll->CAS window wakes the loser
+                    # immediately instead of being silently absorbed.
                     self._rmw(
                         core, var, "cond",
                         lambda cur: cur - 1 if cur == word else cur,
-                        lambda old: reacquire() if old == word
-                        else self._retry(core, poll),
+                        on_cas,
                     )
                 else:
-                    self._retry(core, poll)
+                    self._retry(core, var, channel, poll, seen)
 
             poll()
 
@@ -359,15 +476,29 @@ class RemoteAtomicsMechanism(MechanismBase):
     # Table 4 alludes to.
 
     def _rw_read_acquire(self, core, var, callback) -> None:
+        channel = self._spin_channel(var.addr, "rw")
+        seen = 0
+
         def attempt() -> None:
+            nonlocal seen
             self._rmw(core, var, "rw", lambda w: w + 1, on_old)
+            seen = channel.signals
 
         def on_old(old: int) -> None:
             if old & WRITER_BIT:
                 # Writer active: undo the optimistic increment and retry.
+                # The retry decision is based on ``old``, observed at the
+                # increment's issue frame — so the seen baseline is the
+                # snapshot taken there (it already covers our own increment
+                # signal), plus one for the undo below, whose decrement of a
+                # positive count always changes the word and signals.  Any
+                # other signal between the increment and the park — e.g. a
+                # writer releasing while our response was in flight — then
+                # trips the guard and wakes us immediately.
+                expect = seen + 1
                 self._rmw(
                     core, var, "rw", lambda w: w - 1,
-                    lambda _old: self._retry(core, attempt),
+                    lambda _old: self._retry(core, var, channel, attempt, expect),
                 )
             else:
                 callback()
@@ -375,12 +506,23 @@ class RemoteAtomicsMechanism(MechanismBase):
         attempt()
 
     def _rw_write_acquire(self, core, var, callback) -> None:
+        channel = self._spin_channel(var.addr, "rw")
+        seen = 0
+
         def attempt() -> None:
+            nonlocal seen
             self._rmw(
                 core, var, "rw",
                 lambda w: WRITER_BIT if w == 0 else w,
-                lambda old: callback() if old == 0 else self._retry(core, attempt),
+                on_old,
             )
+            seen = channel.signals
+
+        def on_old(old: int) -> None:
+            if old == 0:
+                callback()
+            else:
+                self._retry(core, var, channel, attempt, seen)
 
         attempt()
 

@@ -134,6 +134,13 @@ def collect_metrics(system: NDPSystem, cycles: int, operations: int) -> RunMetri
     """Snapshot a finished system into :class:`RunMetrics`."""
     stats = system.stats
     occupancy = stats.st_occupancy_summary(system.config.st_entries)
+    counters = stats.as_dict()
+    # Kernel-side cost counters ride along under a reserved prefix: how many
+    # events the engine actually dispatched vs. accounted analytically.
+    # They describe simulation effort, not simulated physics, so they are
+    # the one part of RunMetrics allowed to differ between elision modes.
+    counters["kernel.events_processed"] = float(system.sim.events_processed)
+    counters["kernel.elided_events"] = float(system.sim.elided_events)
     return RunMetrics(
         mechanism=system.mechanism_name,
         cycles=cycles,
@@ -145,7 +152,7 @@ def collect_metrics(system: NDPSystem, cycles: int, operations: int) -> RunMetri
         overflow_request_pct=stats.overflow_request_pct,
         st_occupancy_max_pct=occupancy["max_pct"],
         st_occupancy_avg_pct=occupancy["avg_pct"],
-        stats=stats.as_dict(),
+        stats=counters,
     )
 
 

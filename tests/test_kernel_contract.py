@@ -111,11 +111,27 @@ class TestRunBounds:
         sim.run(until=10)
         assert fired == [10]
 
-    def test_until_with_drained_queue_leaves_clock_at_last_event(self):
+    def test_until_with_drained_queue_advances_clock_to_until(self):
+        # The clock reaches ``until`` whether the queue empties before it
+        # (this case) or its head is past it — previously only the latter
+        # advanced, leaving run(until=t) semantics dependent on queue state.
         sim = Simulator()
         sim.schedule(4, lambda: None)
         sim.run(until=100)
-        assert sim.now == 4
+        assert sim.now == 100
+
+    def test_until_with_empty_queue_advances_clock(self):
+        sim = Simulator()
+        sim.run(until=37)
+        assert sim.now == 37
+
+    def test_until_in_the_past_does_not_rewind_clock(self):
+        sim = Simulator()
+        sim.schedule(10, lambda: None)
+        sim.run()
+        assert sim.now == 10
+        sim.run(until=5)
+        assert sim.now == 10
 
     def test_max_events_raises_on_livelock(self):
         sim = Simulator()

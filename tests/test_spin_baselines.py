@@ -354,21 +354,40 @@ class TestSpinCostModel:
 class TestBakeryLockState:
     def test_fifo_ticket_order(self):
         state = _BakeryLockState()
-        assert state.take_ticket(3) is True
-        assert state.take_ticket(1) is False
-        assert state.take_ticket(2) is False
+        t3 = state.take_ticket(3)
+        t1 = state.take_ticket(1)
+        t2 = state.take_ticket(2)
+        assert state.owner == t3 and state.owner_core == 3
         state.release(3)
-        assert state.owner == 1
+        assert state.owner == t1 and state.owner_core == 1
         state.release(1)
-        assert state.owner == 2
+        assert state.owner == t2 and state.owner_core == 2
         state.release(2)
-        assert state.owner is None
+        assert state.owner is None and state.owner_core is None
 
     def test_release_by_non_owner_raises(self):
         state = _BakeryLockState()
         state.take_ticket(5)
         with pytest.raises(RuntimeError):
             state.release(7)
+
+    def test_concurrent_acquisitions_by_one_core_grant_once_each(self):
+        # One core with several acquisitions in flight (async sem_post plus
+        # the next sem_wait): ownership is per ticket, so each acquisition
+        # is granted and released exactly once, in FIFO order.
+        state = _BakeryLockState()
+        a = state.take_ticket(3)
+        b = state.take_ticket(3)
+        other = state.take_ticket(4)
+        assert state.owner == a
+        state.release(3)
+        assert state.owner == b and state.owner_core == 3
+        state.release(3)
+        assert state.owner == other and state.owner_core == 4
+        with pytest.raises(RuntimeError):
+            state.release(3)  # core 3 holds nothing anymore
+        state.release(4)
+        assert state.owner is None
 
     def test_scan_rounds_counted(self, tiny_config):
         system = build_system(tiny_config, "bakery")
