@@ -36,6 +36,7 @@ hard-codes: any workload set x mechanisms x swept SystemConfig fields;
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 from typing import Dict, List, Optional, Tuple
 
@@ -170,7 +171,24 @@ def _runner_options(args) -> Dict:
         "worker_id": args.worker_id,
         "lease_ttl": args.lease_ttl,
         "sampling": getattr(args, "sampling", None),
+        "telemetry": getattr(args, "telemetry", None),
     }
+
+
+@contextlib.contextmanager
+def _telemetry_scope(args):
+    """Enable the telemetry bus for a command when --telemetry DIR is set."""
+    directory = getattr(args, "telemetry", None)
+    if not directory:
+        yield
+        return
+    from repro.telemetry import telemetry_session
+
+    with telemetry_session(directory, worker=getattr(args, "worker_id", None)):
+        yield
+    print(f"[telemetry] event log + snapshot written to {directory}/ "
+          f"(render with `python -m repro report {directory}`)",
+          file=sys.stderr)
 
 
 def cmd_list(_args) -> int:
@@ -202,7 +220,7 @@ def cmd_run(args) -> int:
         print(f"{name} needs --arg {_POSITIONAL[name]}=...", file=sys.stderr)
         return 2
     STATS.reset()
-    with execution_options(**_runner_options(args)):
+    with _telemetry_scope(args), execution_options(**_runner_options(args)):
         result = fn(**kwargs)
     _print_result(name, result)
     print(f"[runner] {STATS.summary()}", file=sys.stderr)
@@ -287,7 +305,7 @@ def cmd_sweep(args) -> int:
         return 0
 
     STATS.reset()
-    with execution_options(**_runner_options(args)):
+    with _telemetry_scope(args), execution_options(**_runner_options(args)):
         results = run_sweep(SweepSpec.of(
             "cli_sweep", (spec for _label, spec in labeled)))
 
@@ -346,7 +364,7 @@ def cmd_corun(args) -> int:
 
     STATS.reset()
     status = 0
-    with execution_options(**_runner_options(args)):
+    with _telemetry_scope(args), execution_options(**_runner_options(args)):
         try:
             if args.check_isolation:
                 if unit_split or core_split:
@@ -515,10 +533,142 @@ def cmd_cache(args) -> int:
     else:
         for key, value in report.items():
             print(f"{key:18s} {value}")
-    if args.action == "verify" and report["corrupt"]:
-        print(f"cache: {len(report['corrupt'])} corrupt entries quarantined",
+    if args.action == "verify":
+        total = report.get("quarantine_total", len(report["corrupt"]))
+        if report["corrupt"]:
+            print(f"cache: {len(report['corrupt'])} corrupt entries "
+                  f"quarantined this pass ({total} total in quarantine/)",
+                  file=sys.stderr)
+            return 1
+        print(f"cache: verify ok ({report['ok']} entries, {total} in "
+              f"quarantine/ from earlier damage)", file=sys.stderr)
+    return 0
+
+
+# ----------------------------------------------------------------------
+# top: live view of an in-flight cooperative sweep
+# ----------------------------------------------------------------------
+def _store_root(args) -> Optional[str]:
+    """Resolve the filesystem root the sweep's heartbeats live under."""
+    import os as _os
+
+    url = getattr(args, "store", None)
+    if url:
+        scheme, sep, rest = url.partition(":")
+        if not sep:
+            return url  # bare path
+        if rest:
+            return rest  # dir:PATH / shared:PATH
+        return None  # memory: has no root -> nothing to observe
+    return (getattr(args, "cache_dir", None)
+            or _os.environ.get("REPRO_CACHE_DIR", ".repro-cache"))
+
+
+def cmd_top(args) -> int:
+    import time as _time
+
+    from repro.harness import topview
+
+    root = _store_root(args)
+    if root is None:
+        print("top: a memory: store has no on-disk heartbeats to observe; "
+              "point --store at the sweep's dir:/shared: root",
               file=sys.stderr)
-        return 1
+        return 2
+    once = args.once or not sys.stdout.isatty()
+    try:
+        while True:
+            snapshot = topview.gather(root)
+            text = topview.render(snapshot)
+            if once:
+                print(text)
+                return 0 if snapshot["found"] else 1
+            # TTY: redraw in place until every worker reports done.
+            sys.stdout.write("\x1b[2J\x1b[H" + text + "\n")
+            sys.stdout.flush()
+            if snapshot["found"] and topview.finished(snapshot):
+                return 0
+            _time.sleep(args.interval)
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        print()
+        return 0
+
+
+# ----------------------------------------------------------------------
+# report: render a finished run's telemetry
+# ----------------------------------------------------------------------
+def cmd_report(args) -> int:
+    import json as _json
+    from pathlib import Path
+
+    from repro.telemetry import merge_snapshots
+
+    directory = Path(args.telemetry_dir)
+    snapshots = []
+    for path in sorted(directory.glob("snapshot-*.json")):
+        try:
+            snapshots.append(_json.loads(path.read_text(encoding="utf-8")))
+        except (OSError, _json.JSONDecodeError):
+            print(f"report: skipping unreadable {path}", file=sys.stderr)
+    event_counts: Dict[str, int] = {}
+    event_lines = 0
+    for path in sorted(directory.glob("events-*.jsonl")):
+        try:
+            lines = path.read_text(encoding="utf-8").splitlines()
+        except OSError:
+            continue
+        for line in lines:
+            try:
+                record = _json.loads(line)
+            except _json.JSONDecodeError:
+                continue
+            event_lines += 1
+            name = str(record.get("event", "?"))
+            event_counts[name] = event_counts.get(name, 0) + 1
+    if not snapshots and not event_counts:
+        print(f"report: no telemetry found under {directory}/ "
+              "(expected snapshot-*.json / events-*.jsonl)", file=sys.stderr)
+        return 2
+
+    merged = merge_snapshots(snapshots)
+    title = f"telemetry @ {directory}"
+    workers = merged.get("workers", [])
+    print(f"{title}: {len(snapshots)} snapshot(s), {event_lines} logged "
+          f"event(s), workers: {', '.join(workers) or '-'}")
+    if merged.get("spans"):
+        rows = [
+            {"span": name, "count": cell["count"],
+             "total_s": cell["total_s"],
+             "mean_ms": 1e3 * cell["total_s"] / cell["count"],
+             "max_ms": 1e3 * cell["max_s"], "errors": cell["errors"]}
+            for name, cell in sorted(merged["spans"].items())
+        ]
+        print()
+        print(format_table(rows, title="spans"))
+    if merged.get("counters"):
+        rows = [{"counter": k, "value": v}
+                for k, v in sorted(merged["counters"].items())]
+        print()
+        print(format_table(rows, title="counters"))
+    if merged.get("gauges"):
+        rows = [{"gauge": k, "value": v}
+                for k, v in sorted(merged["gauges"].items())]
+        print()
+        print(format_table(rows, title="gauges"))
+    if merged.get("histograms"):
+        rows = [
+            {"histogram": name, "count": cell["count"], "sum": cell["sum"],
+             "mean_ms": (1e3 * cell["sum"] / cell["count"]
+                         if cell["count"] else 0.0)}
+            for name, cell in sorted(merged["histograms"].items())
+        ]
+        print()
+        print(format_table(rows, title="histograms"))
+    if event_counts:
+        rows = [{"event": k, "count": v}
+                for k, v in sorted(event_counts.items())]
+        print()
+        print(format_table(rows, title="event log"))
     return 0
 
 
@@ -579,6 +729,10 @@ def build_parser() -> argparse.ArgumentParser:
                               "sampleable workload's rounds and extrapolate "
                               "with error bounds; approximate, never cached "
                               "(see `repro sample-check`)")
+        cmd.add_argument("--telemetry", default=None, metavar="DIR",
+                         help="write a JSONL event log + aggregate snapshot "
+                              "of this command's execution to DIR (render "
+                              "afterwards with `repro report DIR`)")
 
     run = sub.add_parser("run", help="run one experiment and print its table")
     run.add_argument("experiment", help="e.g. fig11, table1, ext_rwlock")
@@ -692,6 +846,29 @@ def build_parser() -> argparse.ArgumentParser:
     cache.add_argument("--json", action="store_true",
                        help="machine-readable output")
 
+    top = sub.add_parser(
+        "top",
+        help="live progress of a cooperative sweep draining a shared store",
+    )
+    top.add_argument("--store", default=None, metavar="URL",
+                     help="the sweep's store url (dir:PATH or shared:PATH)")
+    top.add_argument("--cache-dir", default=None, metavar="DIR",
+                     help="store directory (default $REPRO_CACHE_DIR or "
+                          ".repro-cache)")
+    top.add_argument("--interval", type=float, default=2.0, metavar="SEC",
+                     help="refresh interval on a TTY (default 2.0)")
+    top.add_argument("--once", action="store_true",
+                     help="print one snapshot and exit (automatic when "
+                          "stdout is not a TTY)")
+
+    report = sub.add_parser(
+        "report",
+        help="render the telemetry a --telemetry run left behind",
+    )
+    report.add_argument("telemetry_dir", metavar="DIR",
+                        help="directory passed to --telemetry (holds "
+                             "snapshot-*.json and events-*.jsonl)")
+
     sub.add_parser("quickstart", help="run the README quickstart")
     return parser
 
@@ -701,6 +878,7 @@ def main(argv: List[str] = None) -> int:
     handler = {"list": cmd_list, "run": cmd_run, "sweep": cmd_sweep,
                "corun": cmd_corun, "cache": cmd_cache,
                "sample-check": cmd_sample_check,
+               "top": cmd_top, "report": cmd_report,
                "quickstart": cmd_quickstart}
     return handler[args.command](args)
 

@@ -16,7 +16,17 @@ def format_table(rows: List[Dict], columns: Sequence[str] = None,
     if not rows:
         return f"{title}\n(no rows)"
     if columns is None:
-        columns = [k for k in rows[0] if not k.startswith("_")]
+        # Union of keys across ALL rows, preserving first-seen order:
+        # heterogeneous rows (a key absent from the first row, present in
+        # later ones) must not lose columns.
+        seen = {}
+        for row in rows:
+            for key in row:
+                if not key.startswith("_") and key not in seen:
+                    seen[key] = None
+        columns = list(seen)
+    if not columns:
+        return f"{title}\n(no columns)"
 
     def cell(value) -> str:
         if isinstance(value, float):

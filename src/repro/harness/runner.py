@@ -46,11 +46,13 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.harness.specs import RunSpec, SweepSpec
 from repro.harness.store import (
+    Heartbeat,
     LeaseBoard,
     ResultStore,
     SharedVolumeStore,
     open_store,
 )
+from repro.telemetry import get_telemetry, strip_volatile_stats
 from repro.workloads.base import RunMetrics, run_workload
 
 #: what a run produces: RunMetrics for workload specs, a plain dict for
@@ -82,6 +84,10 @@ class ExecutionOptions:
     #: metrics with error bounds.  Forces the cache off and the local
     #: single-worker path — approximations are never stored.
     sampling: Optional[float] = None
+    #: telemetry output directory (``--telemetry DIR``): the CLI enables
+    #: the :mod:`repro.telemetry` bus for the whole command and exports
+    #: the event log + snapshot there.  None = telemetry off (default).
+    telemetry: Optional[str] = None
 
     # Back-compat alias: PR-2 called worker processes "jobs".
     @property
@@ -102,7 +108,7 @@ _OPTIONS = ExecutionOptions()
 
 #: ExecutionOptions fields settable through the helpers below.
 _OPTION_FIELDS = ("workers", "cache", "cache_dir", "store", "worker_id",
-                  "lease_ttl", "sampling")
+                  "lease_ttl", "sampling", "telemetry")
 
 
 def set_execution_options(jobs: Optional[int] = None,
@@ -112,7 +118,8 @@ def set_execution_options(jobs: Optional[int] = None,
                           worker_id: Optional[str] = None,
                           lease_ttl: Optional[float] = None,
                           workers: Optional[int] = None,
-                          sampling: Optional[float] = None) -> None:
+                          sampling: Optional[float] = None,
+                          telemetry: Optional[str] = None) -> None:
     if workers is None:
         workers = jobs
     if workers is not None:
@@ -139,6 +146,8 @@ def set_execution_options(jobs: Optional[int] = None,
             if not 0.0 < sampling < 1.0:
                 raise ValueError("sampling fraction must be in (0, 1)")
             _OPTIONS.sampling = float(sampling)
+    if telemetry is not None:
+        _OPTIONS.telemetry = telemetry or None
 
 
 def get_execution_options() -> ExecutionOptions:
@@ -152,14 +161,15 @@ def execution_options(jobs: Optional[int] = None, cache: Optional[bool] = None,
                       worker_id: Optional[str] = None,
                       lease_ttl: Optional[float] = None,
                       workers: Optional[int] = None,
-                      sampling: Optional[float] = None):
+                      sampling: Optional[float] = None,
+                      telemetry: Optional[str] = None):
     """Temporarily override the active execution policy."""
     previous = replace(_OPTIONS)
     try:
         set_execution_options(jobs=jobs, cache=cache, cache_dir=cache_dir,
                               store=store, worker_id=worker_id,
                               lease_ttl=lease_ttl, workers=workers,
-                              sampling=sampling)
+                              sampling=sampling, telemetry=telemetry)
         yield _OPTIONS
     finally:
         for name in _OPTION_FIELDS:
@@ -239,26 +249,48 @@ def execute_spec(spec: RunSpec) -> Dict:
     """
     from repro.harness.sampling import run_sampled, supports_sampling
 
-    fraction = get_execution_options().sampling
-    if fraction is not None and supports_sampling(spec):
-        metrics, report = run_sampled(spec, fraction)
-        return {"kind": "metrics", "result": metrics.as_dict(),
-                "spec": spec.describe(), "sampling": report}
-    with _scale_env(spec.scale):
-        config = spec.config()
-        if spec.is_measurement():
-            row = spec.measurement_fn()(config, spec.mechanism, **spec.args_dict())
-            return {"kind": "row", "result": dict(row),
+    with get_telemetry().span("spec.execute", spec=spec.describe()):
+        fraction = get_execution_options().sampling
+        if fraction is not None and supports_sampling(spec):
+            metrics, report = run_sampled(spec, fraction)
+            return {"kind": "metrics", "result": metrics.as_dict(),
+                    "spec": spec.describe(), "sampling": report}
+        with _scale_env(spec.scale):
+            config = spec.config()
+            if spec.is_measurement():
+                row = spec.measurement_fn()(config, spec.mechanism,
+                                            **spec.args_dict())
+                return {"kind": "row", "result": dict(row),
+                        "spec": spec.describe()}
+            metrics = run_workload(spec.build_workload, config, spec.mechanism)
+            return {"kind": "metrics", "result": metrics.as_dict(),
                     "spec": spec.describe()}
-        metrics = run_workload(spec.build_workload, config, spec.mechanism)
-        return {"kind": "metrics", "result": metrics.as_dict(),
-                "spec": spec.describe()}
 
 
 def _record_to_result(record: Dict) -> RunResult:
     if record["kind"] == "metrics":
         return RunMetrics.from_dict(record["result"])
     return dict(record["result"])
+
+
+def _storable(body: Dict) -> Dict:
+    """A record body fit for the content-addressed store.
+
+    The reserved ``telemetry.*`` stats keys are host wall-clock — not
+    reproducible content — so they are stripped before publishing.
+    Without them, racing completions of one key stay bit-identical and
+    the store's first-durable-write-wins verification holds whether the
+    writers ran with telemetry on or off.
+    """
+    if body.get("kind") != "metrics":
+        return body
+    stats = body.get("result", {}).get("stats")
+    if not isinstance(stats, dict):
+        return body
+    stripped = strip_volatile_stats(stats)
+    if stripped is stats:
+        return body
+    return {**body, "result": {**body["result"], "stats": stripped}}
 
 
 # ----------------------------------------------------------------------
@@ -278,33 +310,66 @@ def drain(store: ResultStore, board: LeaseBoard,
     of processes/hosts can run it against the same store concurrently.
     Returns this worker's counters (``executed`` / ``reclaimed`` /
     ``completed_elsewhere``).
+
+    Observability: each spec's scan/claim/execute/put phases are telemetry
+    spans, and the worker publishes a heartbeat file next to the
+    LeaseBoard after every state change (``repro top`` tails those).
     """
+    tel = get_telemetry()
     executed = reclaimed = elsewhere = 0
+    events_done = 0
     remaining = dict(work)
+    heartbeat = Heartbeat(store.root, worker) if store.root is not None \
+        else None
+
+    def beat(phase: str, current: Optional[str] = None) -> None:
+        if heartbeat is not None:
+            heartbeat.update(phase=phase, current=current,
+                             total=len(work), remaining=len(remaining),
+                             executed=executed, reclaimed=reclaimed,
+                             completed_elsewhere=elsewhere,
+                             kernel_events=events_done, done=not remaining)
+
+    beat("scan")
     while remaining:
         progressed = False
         for key in list(remaining):
-            if store.get(key) is not None:
+            with tel.span("spec.scan", key=key[:12]):
+                done_elsewhere = store.get(key) is not None
+            if done_elsewhere:
                 del remaining[key]
                 elsewhere += 1
                 progressed = True
+                beat("scan")
                 continue
-            lease = board.claim(key, worker)
+            with tel.span("spec.claim", key=key[:12]):
+                lease = board.claim(key, worker)
             if lease is None:
                 continue  # validly held by another worker; come back later
             if lease.reclaimed:
                 reclaimed += 1
             # the result may have landed between the get and the claim
             if store.get(key) is None:
-                store.put(key, execute_spec(remaining[key]))
+                spec = remaining[key]
+                beat("execute", current=spec.describe())
+                body = execute_spec(spec)
+                if body.get("kind") == "metrics":
+                    stats = body["result"].get("stats", {})
+                    events_done += int(stats.get("kernel.events_processed", 0))
+                with tel.span("spec.put", key=key[:12]):
+                    store.put(key, _storable(body))
                 executed += 1
+                tel.gauge("sweep.remaining", len(remaining) - 1)
             else:
                 elsewhere += 1
             board.release(key)
             del remaining[key]
             progressed = True
+            beat("scan")
         if remaining and not progressed:
+            beat("wait")
             time.sleep(poll)
+    beat("done")
     return {"executed": executed, "reclaimed": reclaimed,
             "completed_elsewhere": elsewhere}
 
@@ -315,7 +380,12 @@ def _drain_worker(task: Tuple[str, str, float,
     store_url, worker, lease_ttl, work = task
     store = open_store(store_url)
     board = LeaseBoard(store.root, ttl=lease_ttl)
-    return drain(store, board, dict(work), worker)
+    try:
+        return drain(store, board, dict(work), worker)
+    finally:
+        # Forked workers inherit the parent's enabled bus; persist each
+        # worker's aggregate before the pool retires the process.
+        get_telemetry().export()
 
 
 def _pool_context():
@@ -420,9 +490,12 @@ def run_specs(specs: Sequence[RunSpec], jobs: Optional[int] = None,
         # Fast path: one private worker, no coordination overhead.
         for key, spec in pending.items():
             body = execute_spec(spec)
-            record = result_store.put(key, body) if result_store is not None \
-                else body
-            results_by_key[key] = _record_to_result(record)
+            if result_store is not None:
+                result_store.put(key, _storable(body))
+            # Return the locally produced body (it keeps the telemetry.*
+            # keys the stored record legitimately drops); a racing winner
+            # is bit-identical in everything else by the store's contract.
+            results_by_key[key] = _record_to_result(body)
             STATS.executed += 1
     else:
         scratch_dir = None
@@ -447,7 +520,7 @@ def run_specs(specs: Sequence[RunSpec], jobs: Optional[int] = None,
             for key, spec in pending.items():
                 record = drain_store.get(key)
                 if record is None:  # pragma: no cover - drain guarantees it
-                    record = drain_store.put(key, execute_spec(spec))
+                    record = drain_store.put(key, _storable(execute_spec(spec)))
                     STATS.executed += 1
                 try:
                     results_by_key[key] = _record_to_result(record)

@@ -49,12 +49,14 @@ from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Tuple, Union
 
 from repro.harness.specs import CACHE_FORMAT_VERSION
+from repro.telemetry import get_telemetry
 
 LEGACY_FILENAME = "results.jsonl"
 OBJECTS_DIR = "objects"
 QUARANTINE_DIR = "quarantine"
 LEASES_DIR = "leases"
 LOCKS_DIR = "locks"
+HEARTBEATS_DIR = "heartbeats"
 SHARD_CHARS = 2
 
 #: record kinds the runner produces (RunMetrics vs measurement rows).
@@ -187,7 +189,9 @@ class MemoryStore(ResultStore):
     def get(self, key: str) -> Optional[Dict]:
         record = self._records.get(check_key(key))
         if record is None or record_status(record, key) != "ok":
+            get_telemetry().count("store.misses")
             return None
+        get_telemetry().count("store.hits")
         return record
 
     def put(self, key: str, body: Dict) -> Dict:
@@ -199,8 +203,10 @@ class MemoryStore(ResultStore):
                     f"duplicate completion of {key} is not bit-identical "
                     f"to the stored winner"
                 )
+            get_telemetry().count("store.duplicates_verified")
             return existing
         self._records[key] = record
+        get_telemetry().count("store.publishes")
         return record
 
     def discard(self, key: str) -> None:
@@ -232,7 +238,8 @@ class MemoryStore(ResultStore):
                 del self._records[key]
         return {"checked": ok + stale + len(corrupt), "ok": ok,
                 "stale": stale, "corrupt": corrupt,
-                "quarantined": len(corrupt)}
+                "quarantined": len(corrupt),
+                "quarantine_total": len(corrupt)}
 
     def gc(self) -> Dict:
         stale = [k for k, r in self._records.items()
@@ -286,6 +293,9 @@ class ShardedDirStore(ResultStore):
         try:
             os.replace(path, dest)
             self.quarantined += 1
+            tel = get_telemetry()
+            tel.count("store.quarantines")
+            tel.event("store.quarantine", path=str(path))
         except FileNotFoundError:
             pass  # another process beat us to it
 
@@ -307,13 +317,16 @@ class ShardedDirStore(ResultStore):
         check_key(key)
         memo = self._memo.get(key)
         if memo is not None:
+            get_telemetry().count("store.hits")
             return memo
         record, status = self._read(key)
         if status == "ok":
             self._memo[key] = record
+            get_telemetry().count("store.hits")
             return record
         if status == "corrupt":
             self._quarantine(self._path(key))
+        get_telemetry().count("store.misses")
         return None  # missing / stale / corrupt all mean "recompute"
 
     def discard(self, key: str) -> None:
@@ -348,6 +361,16 @@ class ShardedDirStore(ResultStore):
         return contextlib.nullcontext()
 
     def put(self, key: str, body: Dict) -> Dict:
+        tel = get_telemetry()
+        if not tel.enabled:
+            return self._put(key, body)
+        t0 = time.perf_counter()
+        try:
+            return self._put(key, body)
+        finally:
+            tel.observe("store.publish_seconds", time.perf_counter() - t0)
+
+    def _put(self, key: str, body: Dict) -> Dict:
         record = normalize_record(check_key(key), body)
         data = canonical_bytes(record) + b"\n"
         final = self._path(key)
@@ -365,6 +388,7 @@ class ShardedDirStore(ResultStore):
                     if self._publish(tmp, final):
                         self._dir_sync(shard_dir)
                         self._memo[key] = record
+                        get_telemetry().count("store.publishes")
                         return record
                     existing, status = self._read(key)
                     if status == "ok":
@@ -376,6 +400,7 @@ class ShardedDirStore(ResultStore):
                                 f"({final})"
                             )
                         self.verified_duplicates += 1
+                        get_telemetry().count("store.duplicates_verified")
                         self._memo[key] = existing
                         return existing
                     if status == "stale":
@@ -384,6 +409,7 @@ class ShardedDirStore(ResultStore):
                         os.replace(tmp, final)
                         self._dir_sync(shard_dir)
                         self._memo[key] = record
+                        get_telemetry().count("store.publishes")
                         return record
                     if status == "corrupt":
                         self._quarantine(final)
@@ -450,9 +476,13 @@ class ShardedDirStore(ResultStore):
                 corrupt.append(key)
                 self._quarantine(path)
                 self._memo.pop(key, None)
+        quarantine = self.root / QUARANTINE_DIR
+        total = (sum(1 for _ in quarantine.iterdir())
+                 if quarantine.is_dir() else 0)
         return {"checked": ok + stale + len(corrupt), "ok": ok,
                 "stale": stale, "corrupt": corrupt,
-                "quarantined": len(corrupt)}
+                "quarantined": len(corrupt),
+                "quarantine_total": total}
 
     def gc(self) -> Dict:
         """Drop stale-version entries, abandoned temp files, dead leases."""
@@ -736,6 +766,12 @@ class LeaseBoard:
             if lease is not None:
                 if generation > 1:
                     self._drop_generations(key, below=generation)
+                tel = get_telemetry()
+                tel.count("lease.claims")
+                if lease.reclaimed:
+                    tel.count("lease.reclaims")
+                    tel.event("lease.reclaim", key=key, worker=worker,
+                              generation=generation)
                 return lease
             # lost the creation race; re-read and re-evaluate.
 
@@ -776,6 +812,65 @@ class LeaseBoard:
                 except FileNotFoundError:
                     pass
         return removed
+
+
+# ----------------------------------------------------------------------
+# Worker heartbeats: the live-progress files `repro top` tails
+# ----------------------------------------------------------------------
+def _heartbeat_name(worker: str) -> str:
+    """Worker ids double as filenames; squash anything unsafe."""
+    safe = "".join(c if c.isalnum() or c in "-._" else "_" for c in worker)
+    return f"{safe or 'worker'}.json"
+
+
+class Heartbeat:
+    """One worker's live progress file: ``heartbeats/<worker>.json``.
+
+    Published next to the :class:`LeaseBoard` so any process with access
+    to the store root (``repro top``, dashboards) can observe an in-flight
+    sweep without talking to the workers.  Writes are atomic
+    (temp + ``os.replace``) so readers never see a torn file; losing a
+    heartbeat is harmless — it is observability, not coordination.
+    """
+
+    def __init__(self, root: Union[str, Path], worker: str):
+        self.dir = Path(root) / HEARTBEATS_DIR
+        self.worker = worker
+        self.path = self.dir / _heartbeat_name(worker)
+        self.started_at = time.time()
+        self._state: Dict = {"worker": worker, "pid": os.getpid(),
+                             "started_at": self.started_at}
+
+    def update(self, **fields) -> None:
+        """Merge ``fields`` into the state and publish it (best effort)."""
+        self._state.update(fields)
+        self._state["time"] = time.time()
+        try:
+            self.dir.mkdir(parents=True, exist_ok=True)
+            fd, tmp_name = tempfile.mkstemp(prefix=".tmp-", dir=self.dir)
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(self._state, fh)
+            os.replace(tmp_name, self.path)
+        except OSError:
+            pass  # a full/unwritable volume must never kill the worker
+
+
+def read_heartbeats(root: Union[str, Path]) -> List[Dict]:
+    """All readable heartbeat files under ``root``, sorted by worker."""
+    directory = Path(root) / HEARTBEATS_DIR
+    if not directory.is_dir():
+        return []
+    out = []
+    for path in sorted(directory.iterdir()):
+        if not path.name.endswith(".json"):
+            continue
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            continue  # torn/vanished: best-effort observability
+        if isinstance(data, dict):
+            out.append(data)
+    return sorted(out, key=lambda d: str(d.get("worker", "")))
 
 
 # ----------------------------------------------------------------------

@@ -30,6 +30,7 @@ from repro.sim.trace import MessageTracer, TraceRecord
 #: trace-event "process" ids: one per engine family keeps tracks grouped.
 ENGINE_PID = 1
 CORE_PID = 2
+KERNEL_PID = 3
 
 
 def _ns(cycles: int) -> float:
@@ -101,6 +102,59 @@ def trace_events(
                 "tid": core.core_id,
                 "args": {"name": f"core {core.core_id} (unit {core.unit_id})"},
             })
+    events.extend(_kernel_events(system))
+    return events
+
+
+def _kernel_events(system) -> List[Dict]:
+    """Kernel track: counter samples + instant events at channel wakes.
+
+    The elision kernel never materializes poll storms, so without this
+    track they would be invisible in Perfetto.  Each
+    :meth:`WaitChannel.signal` that woke waiters (recorded by the
+    simulator's wake log, enabled by :class:`MessageTracer`) becomes an
+    instant event, and the ``events_processed`` / ``elided_events``
+    counters sampled at those moments (plus a final end-of-run sample)
+    form two counter tracks.
+    """
+    sim = system.sim
+    wake_log = sim.wake_log
+    if wake_log is None:
+        return []
+    events: List[Dict] = [
+        {"name": "process_name", "ph": "M", "pid": KERNEL_PID,
+         "args": {"name": "simulation kernel"}},
+    ]
+    for cycle, channel, woken, polls, processed, elided in wake_log:
+        ts = _ns(cycle)
+        events.append({
+            "name": "wake",
+            "cat": "kernel",
+            "ph": "i",
+            "s": "p",  # process-scoped instant marker
+            "pid": KERNEL_PID,
+            "tid": 0,
+            "ts": ts,
+            "args": {"channel": channel or "(unnamed)",
+                     "woken": woken, "polls_elided": polls},
+        })
+        events.append({
+            "name": "kernel events",
+            "ph": "C",
+            "pid": KERNEL_PID,
+            "ts": ts,
+            "args": {"events_processed": processed,
+                     "elided_events": elided},
+        })
+    # Final sample so the counter track spans the whole run.
+    events.append({
+        "name": "kernel events",
+        "ph": "C",
+        "pid": KERNEL_PID,
+        "ts": _ns(sim.now),
+        "args": {"events_processed": sim.events_processed,
+                 "elided_events": sim.elided_events},
+    })
     return events
 
 

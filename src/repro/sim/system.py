@@ -31,6 +31,7 @@ from repro.sim.network import Interconnect
 from repro.sim.smt import IssuePort
 from repro.sim.stats import SystemStats
 from repro.sim.syncif import SyncVar
+from repro.telemetry import get_telemetry
 
 
 def _mechanism_registry() -> Dict[str, Callable]:
@@ -80,6 +81,11 @@ class NDPSystem:
         config.validate()
         self.config = config
         self.sim = Simulator(elide_waits=config.elide_waits)
+        if get_telemetry().enabled:
+            # Telemetry session active: profile the kernel so RunMetrics
+            # gains the reserved telemetry.* wall-clock keys.  Simulated
+            # physics is unaffected (see Simulator.enable_profile).
+            self.sim.enable_profile()
         self.stats = SystemStats()
         self.addrmap = AddressMap(
             config.num_units, config.unit_memory_bytes, config.cache_line_bytes

@@ -55,6 +55,10 @@ class MessageTracer:
         self.system = system
         self.records: List[TraceRecord] = []
         self.filter_fn = filter_fn
+        # Also log WaitChannel signal wakes: the chrome-trace exporter
+        # turns them into kernel counter tracks + instant events so elided
+        # poll storms stay visible.  Observational only (timing unchanged).
+        self.wake_log = system.sim.record_wakes()
         self._install()
 
     def _install(self) -> None:

@@ -23,6 +23,7 @@ from repro.sim.clock import seconds_from_core_cycles
 from repro.sim.config import SystemConfig
 from repro.sim.energy import EnergyBreakdown, compute_energy
 from repro.sim.system import NDPSystem
+from repro.telemetry import get_telemetry
 
 SCALES = ("small", "medium", "full")
 _SCALE_FACTORS = {"small": 1, "medium": 3, "full": 10}
@@ -141,6 +142,33 @@ def collect_metrics(system: NDPSystem, cycles: int, operations: int) -> RunMetri
     # the one part of RunMetrics allowed to differ between elision modes.
     counters["kernel.events_processed"] = float(system.sim.events_processed)
     counters["kernel.elided_events"] = float(system.sim.elided_events)
+    # Wall-clock profile (only when the telemetry bus enabled profiling on
+    # this system): reserved telemetry.* keys, reported like kernel.* but
+    # additionally stripped before results enter the content-addressed
+    # store — host wall-clock is not reproducible content.
+    profile = system.sim.profile
+    if profile is not None and profile.wall_seconds > 0.0:
+        events = system.sim.events_processed
+        elided = system.sim.elided_events
+        logical = events + elided
+        wall = profile.wall_seconds
+        counters["telemetry.wall_seconds"] = wall
+        counters["telemetry.events_per_sec"] = events / wall
+        counters["telemetry.elided_ratio"] = (
+            elided / logical if logical else 0.0
+        )
+        counters["telemetry.sim_seconds_per_wall_second"] = (
+            seconds_from_core_cycles(cycles) / wall
+        )
+        for bucket, share in profile.attribution().items():
+            counters[f"telemetry.attr.{bucket}"] = share
+        tel = get_telemetry()
+        if tel.enabled:
+            tel.count("sim.runs")
+            tel.count("sim.events_processed", events)
+            tel.count("sim.elided_events", elided)
+            tel.observe("sim.run_seconds", wall)
+            tel.gauge("sim.last_events_per_sec", events / wall)
     return RunMetrics(
         mechanism=system.mechanism_name,
         cycles=cycles,

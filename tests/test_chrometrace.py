@@ -2,6 +2,8 @@
 
 import json
 
+import pytest
+
 from repro.core import api
 from repro.sim.chrometrace import trace_events, write_chrome_trace
 from repro.sim.program import Compute
@@ -114,3 +116,98 @@ class TestWriteChromeTrace:
         assert count > 0
         document = json.loads(path.read_text())
         assert document["otherData"]["mechanism"] == "central"
+
+
+def spin_run(tiny_config, elide: bool):
+    """One rmw_spin lock workload whose polls exercise the wake log."""
+    config = tiny_config.with_(elide_waits=elide)
+    system = build_system(config, "rmw_spin")
+    tracer = MessageTracer(system)
+    lock = system.create_syncvar(unit=1, name="Lx")
+
+    def worker():
+        for _ in range(4):
+            yield api.lock_acquire(lock)
+            yield Compute(120)
+            yield api.lock_release(lock)
+
+    system.run_programs({c.core_id: worker() for c in system.cores})
+    return system, tracer
+
+
+class TestKernelTrack:
+    """S1: counter tracks + instant events for the elision kernel."""
+
+    def test_no_wake_log_no_kernel_track(self, tiny_config):
+        from repro.sim.chrometrace import _kernel_events
+
+        system = build_system(tiny_config, "syncron")
+        assert system.sim.wake_log is None
+        assert _kernel_events(system) == []
+
+    def test_wake_instants_and_counter_samples(self, tiny_config):
+        system, tracer = spin_run(tiny_config, elide=True)
+        assert system.sim.elided_events > 0  # the run actually elided
+        events = trace_events(system, tracer, include_cores=False)
+        kernel = [e for e in events if e.get("pid") == 3]
+        instants = [e for e in kernel if e.get("ph") == "i"]
+        counters = [e for e in kernel if e.get("ph") == "C"]
+        assert instants, "signal wakes must appear as instant events"
+        # one counter sample per wake plus the final end-of-run sample
+        assert len(counters) == len(instants) + 1
+        for inst in instants:
+            assert inst["cat"] == "kernel"
+            assert inst["args"]["woken"] >= 1
+            assert inst["args"]["channel"]
+        # counter samples are monotonically non-decreasing and end at the
+        # simulator's own totals
+        processed = [c["args"]["events_processed"] for c in counters]
+        elided = [c["args"]["elided_events"] for c in counters]
+        assert processed == sorted(processed)
+        assert elided == sorted(elided)
+        assert processed[-1] == system.sim.events_processed
+        assert elided[-1] == system.sim.elided_events
+        assert counters[-1]["ts"] == pytest.approx(system.sim.now / 2.5)
+
+    def test_counter_samples_are_live_not_final(self, tiny_config):
+        """Mid-run samples must reflect progress *at the wake*, not the
+        end-of-run totals (the instrumented drain commits per-cycle)."""
+        system, tracer = spin_run(tiny_config, elide=True)
+        events = trace_events(system, tracer, include_cores=False)
+        counters = [e for e in events
+                    if e.get("pid") == 3 and e.get("ph") == "C"]
+        assert counters[0]["args"]["events_processed"] \
+            < counters[-1]["args"]["events_processed"]
+
+
+class TestTracerUnderElision:
+    """S4: MessageTracer sees identical protocol traffic in both kernel
+    modes — elision removes poll *events*, never SE *messages*."""
+
+    @pytest.mark.parametrize("mechanism", ["rmw_spin", "syncron"])
+    def test_records_identical_elide_on_off(self, tiny_config, mechanism):
+        runs = {}
+        for elide in (True, False):
+            config = tiny_config.with_(elide_waits=elide)
+            system = build_system(config, mechanism)
+            tracer = MessageTracer(system)
+            lock = system.create_syncvar(unit=1, name="Lx")
+
+            def worker():
+                for _ in range(3):
+                    yield api.lock_acquire(lock)
+                    yield Compute(80)
+                    yield api.lock_release(lock)
+
+            system.run_programs(
+                {c.core_id: worker() for c in system.cores})
+            runs[elide] = (system, tracer)
+        elided_sys, elided_tr = runs[True]
+        explicit_sys, explicit_tr = runs[False]
+        if mechanism == "rmw_spin":
+            assert elided_sys.sim.elided_events > 0
+            assert elided_sys.sim.events_processed \
+                < explicit_sys.sim.events_processed
+        # no phantom or missing messages: same records, same order
+        assert elided_tr.records == explicit_tr.records
+        assert elided_tr.summary() == explicit_tr.summary()

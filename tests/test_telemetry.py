@@ -1,0 +1,476 @@
+"""Run telemetry: the bus, its instrumentation, and the operator surface.
+
+Contracts pinned here:
+
+1. Bus mechanics — counters/gauges/spans/histograms aggregate correctly,
+   the JSONL event log and snapshot exports are well-formed, and the
+   Prometheus rendering parses as text exposition format.
+2. Off-by-default — ``get_telemetry()`` is a no-op bus unless a session
+   enabled one, and sessions restore the previous bus on exit.
+3. Physics isolation — enabling telemetry changes *no* simulated counter;
+   only the reserved ``telemetry.*`` keys appear, they are stripped from
+   every record the result store publishes, and the in-process caller
+   still sees them.
+4. Operator surface — worker heartbeats round-trip through ``repro top``'s
+   backend, and the ``top`` / ``report`` CLI one-shot paths work end to
+   end.
+5. Regression gate — ``benchmarks/check_regression.py`` passes the
+   committed baselines against themselves, fails degraded metrics, and
+   skips parallel-speedup gates on a one-cpu box.
+"""
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro import cli
+from repro.harness import topview
+from repro.harness.reporting import format_table
+from repro.harness.runner import execute_spec, execution_options, run_specs
+from repro.harness.specs import RunSpec
+from repro.harness.store import Heartbeat, ShardedDirStore, read_heartbeats
+from repro.telemetry import (
+    HISTOGRAM_BUCKETS,
+    NullTelemetry,
+    Telemetry,
+    get_telemetry,
+    merge_snapshots,
+    strip_volatile_stats,
+    telemetry_session,
+)
+
+SMALL = {"num_units": 2, "cores_per_unit": 4, "client_cores_per_unit": 3}
+
+
+def small_spec(**args) -> RunSpec:
+    defaults = {"primitive": "lock", "interval": 120, "rounds": 6}
+    defaults.update(args)
+    return RunSpec.make("primitive", mechanism="syncron", args=defaults,
+                       overrides=SMALL)
+
+
+# ----------------------------------------------------------------------
+# 1. Bus mechanics
+# ----------------------------------------------------------------------
+class TestBus:
+    def test_counters_gauges_accumulate(self):
+        tel = Telemetry()
+        tel.count("store.hits")
+        tel.count("store.hits", 4)
+        tel.gauge("sweep.remaining", 9)
+        tel.gauge("sweep.remaining", 3)
+        snap = tel.snapshot()
+        assert snap["counters"]["store.hits"] == 5
+        assert snap["gauges"]["sweep.remaining"] == 3
+
+    def test_span_aggregates_count_minmax_errors(self):
+        tel = Telemetry()
+        with tel.span("work"):
+            pass
+        with pytest.raises(RuntimeError):
+            with tel.span("work"):
+                raise RuntimeError("boom")
+        cell = tel.snapshot()["spans"]["work"]
+        assert cell["count"] == 2
+        assert cell["errors"] == 1
+        assert 0 <= cell["min_s"] <= cell["max_s"] <= cell["total_s"]
+
+    def test_histogram_buckets_and_moments(self):
+        tel = Telemetry()
+        tel.observe("lat", 0.0002)   # second bucket (<= 0.0003)
+        tel.observe("lat", 2.0)      # <= 3.0 bucket
+        tel.observe("lat", 99.0)     # +inf
+        hist = tel.snapshot()["histograms"]["lat"]
+        assert hist["count"] == 3
+        assert hist["sum"] == pytest.approx(101.0002)
+        assert hist["inf"] == 1
+        assert hist["buckets"]["0.0003"] == 1
+        assert hist["buckets"]["3.0"] == 1
+
+    def test_event_log_is_jsonl_per_worker_and_pid(self, tmp_path):
+        tel = Telemetry(str(tmp_path), worker="w/1")
+        tel.event("hello", x=1)
+        tel.event("hello", x=2)
+        tel.close()
+        files = list(tmp_path.glob("events-*.jsonl"))
+        assert len(files) == 1
+        # the worker id is sanitized and the pid appended (fork safety)
+        assert files[0].name.startswith("events-w_1-")
+        records = [json.loads(line)
+                   for line in files[0].read_text().splitlines()]
+        assert [r["x"] for r in records] == [1, 2]
+        assert all(r["event"] == "hello" and r["worker"] == "w/1"
+                   for r in records)
+
+    def test_export_writes_snapshot_json(self, tmp_path):
+        tel = Telemetry(str(tmp_path), worker="w1")
+        tel.count("c", 2)
+        path = tel.export()
+        loaded = json.loads(Path(path).read_text())
+        assert loaded["counters"]["c"] == 2
+        assert loaded["worker"] == "w1"
+
+    def test_prometheus_exposition_shape(self):
+        tel = Telemetry(worker="w1")
+        tel.count("store.hits", 3)
+        tel.gauge("sweep.remaining", 7)
+        with tel.span("spec.execute"):
+            pass
+        tel.observe("store.publish_seconds", 0.002)
+        text = tel.prometheus()
+        assert 'repro_store_hits_total{worker="w1"} 3' in text
+        assert 'repro_sweep_remaining{worker="w1"} 7' in text
+        assert 'repro_spec_execute_seconds_count{worker="w1"} 1' in text
+        # histogram: cumulative buckets ending in +Inf == count
+        assert 'le="+Inf"' in text
+        inf_line = [l for l in text.splitlines() if 'le="+Inf"' in l][0]
+        assert inf_line.endswith(" 1")
+        # every sample line is "name{labels} value"
+        for line in text.splitlines():
+            if line.startswith("#"):
+                continue
+            name, _, value = line.rpartition(" ")
+            float(value)
+            assert name
+
+    def test_null_bus_is_inert(self):
+        null = NullTelemetry()
+        assert not null.enabled
+        with null.span("x", anything=1):
+            null.count("c")
+            null.gauge("g", 1)
+            null.observe("h", 1.0)
+            null.event("e")
+        assert null.snapshot() == {}
+        assert null.export() is None
+        assert null.prometheus() == ""
+
+
+# ----------------------------------------------------------------------
+# 2. Sessions & defaults
+# ----------------------------------------------------------------------
+class TestSession:
+    def test_disabled_by_default(self):
+        assert get_telemetry().enabled is False
+
+    def test_session_enables_exports_and_restores(self, tmp_path):
+        before = get_telemetry()
+        with telemetry_session(str(tmp_path), worker="s1") as tel:
+            assert get_telemetry() is tel
+            assert tel.enabled
+            tel.count("c")
+        assert get_telemetry() is before
+        assert list(tmp_path.glob("snapshot-*.json"))
+        events = list(tmp_path.glob("events-*.jsonl"))
+        names = [json.loads(line)["event"]
+                 for line in events[0].read_text().splitlines()]
+        assert names[0] == "session.start" and names[-1] == "session.end"
+
+    def test_session_without_directory_aggregates_only(self):
+        with telemetry_session() as tel:
+            tel.count("c", 2)
+            assert tel.snapshot()["counters"]["c"] == 2
+            assert tel.export() is None
+
+    def test_strip_volatile_stats(self):
+        stats = {"cycles": 10, "telemetry.wall_seconds": 0.5}
+        stripped = strip_volatile_stats(stats)
+        assert stripped == {"cycles": 10}
+        clean = {"cycles": 10, "kernel.events_processed": 4}
+        # kernel.* is effort but reproducible: kept; same object returned
+        assert strip_volatile_stats(clean) is clean
+
+    def test_merge_snapshots(self):
+        a = Telemetry(worker="a")
+        a.count("c", 1)
+        a.gauge("g", 10)
+        with a.span("s"):
+            pass
+        a.observe("h", 0.01)
+        b = Telemetry(worker="b")
+        b.count("c", 2)
+        b.gauge("g", 20)
+        with b.span("s"):
+            pass
+        b.observe("h", 5.0)
+        snap_a, snap_b = a.snapshot(), b.snapshot()
+        snap_b["written_at"] = snap_a["written_at"] + 10  # b is newer
+        merged = merge_snapshots([snap_a, snap_b])
+        assert merged["workers"] == ["a", "b"]
+        assert merged["counters"]["c"] == 3
+        assert merged["gauges"]["g"] == 20  # latest write wins
+        assert merged["spans"]["s"]["count"] == 2
+        assert merged["histograms"]["h"]["count"] == 2
+        assert merged["histograms"]["h"]["sum"] == pytest.approx(5.01)
+
+
+# ----------------------------------------------------------------------
+# 3. Physics isolation
+# ----------------------------------------------------------------------
+class TestPhysicsIsolation:
+    def test_profiled_run_is_bit_identical_plus_telemetry_keys(self):
+        spec = small_spec()
+        plain = execute_spec(spec)["result"]
+        with telemetry_session():
+            profiled = execute_spec(spec)["result"]
+        tel_keys = {k for k in profiled["stats"]
+                    if k.startswith("telemetry.")}
+        assert tel_keys  # the wall-clock profile was attached
+        assert "telemetry.wall_seconds" in tel_keys
+        assert "telemetry.events_per_sec" in tel_keys
+        stripped = dict(profiled)
+        stripped["stats"] = {k: v for k, v in profiled["stats"].items()
+                             if k not in tel_keys}
+        assert stripped == plain  # physics bit-identical
+        # attribution fractions cover the whole sampled run
+        attr = [v for k, v in profiled["stats"].items()
+                if k.startswith("telemetry.attr.")]
+        assert attr and sum(attr) == pytest.approx(1.0)
+
+    def test_bus_counters_track_simulation(self):
+        with telemetry_session() as tel:
+            execute_spec(small_spec())
+            snap = tel.snapshot()
+        assert snap["counters"]["sim.runs"] == 1
+        assert snap["counters"]["sim.events_processed"] > 0
+        assert snap["spans"]["spec.execute"]["count"] == 1
+
+    def test_store_records_never_carry_telemetry_keys(self, tmp_path):
+        spec = small_spec(rounds=5)
+        with telemetry_session():
+            with execution_options(cache=True,
+                                   store=f"dir:{tmp_path}/cache"):
+                results = run_specs([spec])
+        # caller still sees the wall-clock profile...
+        assert any(k.startswith("telemetry.")
+                   for k in results[0].stats)
+        # ...but the durable record is reproducible content only
+        store = ShardedDirStore(tmp_path / "cache")
+        record = store.get(spec.cache_key())
+        assert record is not None
+        assert not any(k.startswith("telemetry.")
+                       for k in record["result"]["stats"])
+
+    def test_store_counts_hits_and_misses(self, tmp_path):
+        spec = small_spec(rounds=4)
+        with telemetry_session() as tel:
+            with execution_options(cache=True,
+                                   store=f"dir:{tmp_path}/cache"):
+                run_specs([spec])
+                run_specs([spec])  # warm: served from the store
+            counters = tel.snapshot()["counters"]
+        assert counters["store.misses"] >= 1
+        assert counters["store.publishes"] == 1
+        assert counters["store.hits"] >= 1
+
+
+# ----------------------------------------------------------------------
+# 4. Heartbeats & the top view
+# ----------------------------------------------------------------------
+class TestTopView:
+    def _beat(self, root, worker, now, **fields):
+        hb = Heartbeat(root, worker)
+        defaults = {"worker": worker, "pid": 1, "started_at": now - 10.0,
+                    "phase": "execute", "executed": 2, "reclaimed": 0,
+                    "completed_elsewhere": 1, "remaining": 3, "total": 6,
+                    "kernel_events": 5000, "done": False}
+        defaults.update(fields)
+        hb.update(**defaults)
+        # pin the timestamp the test controls
+        path = Path(root) / "heartbeats" / f"{worker}.json"
+        data = json.loads(path.read_text())
+        data["time"] = fields.get("time", now)
+        path.write_text(json.dumps(data))
+
+    def test_heartbeat_roundtrip(self, tmp_path):
+        hb = Heartbeat(tmp_path, "w1")
+        hb.update(phase="scan", executed=0)
+        hb.update(phase="execute", executed=2)
+        (loaded,) = read_heartbeats(tmp_path)
+        assert loaded["worker"] == "w1"
+        assert loaded["phase"] == "execute"
+        assert loaded["executed"] == 2  # merged across updates
+        assert loaded["time"] > 0
+
+    def test_torn_heartbeat_is_skipped(self, tmp_path):
+        Heartbeat(tmp_path, "good").update(phase="scan")
+        (tmp_path / "heartbeats" / "torn.json").write_text("{not json")
+        workers = read_heartbeats(tmp_path)
+        assert [w["worker"] for w in workers] == ["good"]
+
+    def test_gather_totals_and_states(self, tmp_path):
+        now = 1000.0
+        self._beat(tmp_path, "w1", now, remaining=3)
+        self._beat(tmp_path, "w2", now, remaining=4, done=True)
+        self._beat(tmp_path, "w3", now, time=now - 60.0)  # stale
+        snap = topview.gather(tmp_path, now=now)
+        assert snap["found"]
+        states = {w["worker"]: w["state"] for w in snap["workers"]}
+        assert states["w2"] == "done"
+        assert states["w3"] == "stale"
+        assert states["w1"] == "execute"
+        totals = snap["totals"]
+        assert totals["workers"] == 3
+        assert totals["done"] == 1
+        # min across workers' views is the tightest global bound
+        assert totals["remaining"] == 3
+        assert totals["executed"] == 6
+        assert not topview.finished(snap)
+        rendered = topview.render(snap)
+        assert "w1" in rendered and "ETA" in rendered
+
+    def test_finished_and_not_found(self, tmp_path):
+        empty = topview.gather(tmp_path / "nothing", now=0.0)
+        assert not empty["found"] and not topview.finished(empty)
+        assert "no worker heartbeats" in topview.render(empty)
+        now = 50.0
+        self._beat(tmp_path, "w1", now, done=True, remaining=0)
+        snap = topview.gather(tmp_path, now=now)
+        assert topview.finished(snap)
+
+
+# ----------------------------------------------------------------------
+# 5. CLI: --telemetry / top / report
+# ----------------------------------------------------------------------
+class TestCli:
+    def test_run_with_telemetry_then_report(self, tmp_path, capsys):
+        tel_dir = tmp_path / "tel"
+        rc = cli.main([
+            "sweep", "--primitives", "lock", "--mechanisms", "syncron",
+            "--rounds", "4", "--interval", "120",
+            "--store", f"dir:{tmp_path}/cache",
+            "--telemetry", str(tel_dir),
+        ])
+        assert rc == 0
+        assert list(tel_dir.glob("snapshot-*.json"))
+        assert list(tel_dir.glob("events-*.jsonl"))
+        capsys.readouterr()
+        assert cli.main(["report", str(tel_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "spec.execute" in out
+        assert "sim.events_processed" in out
+        assert "session.start" in out
+
+    def test_report_empty_dir_exits_2(self, tmp_path, capsys):
+        assert cli.main(["report", str(tmp_path)]) == 2
+
+    def test_top_once_renders_heartbeats(self, tmp_path, capsys,
+                                         monkeypatch):
+        Heartbeat(tmp_path, "w1").update(
+            worker="w1", started_at=0.0, phase="execute", executed=1,
+            reclaimed=0, completed_elsewhere=0, remaining=2, total=3,
+            kernel_events=100, done=False)
+        rc = cli.main(["top", "--store", f"shared:{tmp_path}", "--once"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "w1" in out and "workers @" in out
+
+    def test_top_once_missing_root_exits_1(self, tmp_path, capsys):
+        rc = cli.main(["top", "--store",
+                       f"shared:{tmp_path}/nothing", "--once"])
+        assert rc == 1
+
+    def test_top_memory_store_exits_2(self, capsys):
+        assert cli.main(["top", "--store", "memory:", "--once"]) == 2
+
+    def test_telemetry_disabled_after_cli_run(self, tmp_path):
+        cli.main([
+            "sweep", "--primitives", "lock", "--mechanisms", "syncron",
+            "--rounds", "3", "--interval", "120", "--no-cache",
+            "--telemetry", str(tmp_path / "tel"),
+        ])
+        assert get_telemetry().enabled is False
+
+
+# ----------------------------------------------------------------------
+# 6. The regression gate
+# ----------------------------------------------------------------------
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _load_gate():
+    path = REPO_ROOT / "benchmarks" / "check_regression.py"
+    spec = importlib.util.spec_from_file_location("check_regression", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture(scope="module")
+def gate():
+    return _load_gate()
+
+
+class TestRegressionGate:
+    def test_committed_baselines_pass_against_themselves(self, gate,
+                                                         capsys):
+        assert gate.main([]) == 0
+        out = capsys.readouterr().out
+        assert "0 failed" in out
+
+    def test_degraded_metrics_fail(self, gate, tmp_path, capsys):
+        for name in gate.GATES:
+            src = REPO_ROOT / name
+            doc = json.loads(src.read_text())
+            (tmp_path / name).write_text(json.dumps(doc))
+        kernel = json.loads((tmp_path / "BENCH_kernel.json").read_text())
+        kernel["kernel_microbench"]["overall"]["speedup"] = 0.5
+        kernel["end_to_end"]["simulated_cycles"] += 1
+        (tmp_path / "BENCH_kernel.json").write_text(json.dumps(kernel))
+        sweep = json.loads((tmp_path / "BENCH_sweep.json").read_text())
+        sweep["warm_workers1"]["simulations_executed"] = 2
+        (tmp_path / "BENCH_sweep.json").write_text(json.dumps(sweep))
+        assert gate.main(["--fresh", str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "kernel_microbench.overall.speedup" in out
+        assert "end_to_end.simulated_cycles" in out
+        assert "warm_workers1.simulations_executed" in out
+
+    def test_cpu1_skips_parallel_speedup_gate(self, gate, capsys):
+        base = json.loads((REPO_ROOT / "BENCH_sweep.json").read_text())
+        assert base["cpu_count"] == 1  # the committed baseline ran on 1 cpu
+        assert gate.main([]) == 0
+        out = capsys.readouterr().out
+        assert "speedup_vs_serial" in out
+        line = [l for l in out.splitlines()
+                if "workers.4.speedup_vs_serial" in l][0]
+        assert "[SKIP]" in line and "not measurable" in line
+
+    def test_missing_fresh_artifact_skips(self, gate, tmp_path, capsys):
+        assert gate.main(["--fresh", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert out.count("benchmark not run") == len(gate.GATES)
+
+    def test_wildcard_expansion(self, gate):
+        doc = {"a": {"x": {"v": 1}, "y": {"v": 2}}, "b": 3}
+        assert gate.expand_paths(doc, "a.*.v") == ["a.x.v", "a.y.v"]
+        assert gate.expand_paths(doc, "a.z.v") == []
+        assert gate.lookup(doc, "a.y.v") == 2
+        assert gate.lookup(doc, "b.c") is gate._MISSING
+
+    def test_json_report(self, gate, capsys):
+        assert gate.main(["--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["failed"] == 0
+        assert report["passed"] > 0
+
+
+# ----------------------------------------------------------------------
+# 7. format_table column discovery (heterogeneous rows)
+# ----------------------------------------------------------------------
+class TestFormatTable:
+    def test_columns_are_union_in_first_seen_order(self):
+        rows = [{"a": 1}, {"a": 2, "b": 3}, {"c": 4}]
+        out = format_table(rows)
+        header = out.splitlines()[0].split()
+        assert header == ["a", "b", "c"]
+        assert "4" in out  # the c-only row renders
+
+    def test_private_keys_hidden_and_empty_rows_ok(self):
+        assert "no rows" in format_table([])
+        out = format_table([{"_hidden": 1, "x": 2}])
+        assert "_hidden" not in out and "x" in out
+        assert "no columns" in format_table([{"_only": 1}])
