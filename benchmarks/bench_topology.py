@@ -15,6 +15,10 @@ Two angles on the new :mod:`repro.sim.topo` subsystem:
    16-unit system.  The routed path replaced the seed's direct per-pair
    link lookup, so this guards the interconnect hot path against
    regressions (all-to-all routes are 1 link; mesh routes average ~2.7).
+3. **Graceful degradation** — an 8-unit ring loses both directions of one
+   channel mid-run; per mechanism the run must complete by rerouting, and
+   its slowdown / reroute / detour counters are recorded as deterministic
+   physics for the regression gate.
 """
 
 from __future__ import annotations
@@ -29,7 +33,9 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 if str(REPO_ROOT / "src") not in sys.path:
     sys.path.insert(0, str(REPO_ROOT / "src"))
 
+from repro import NDPSystem, api  # noqa: E402
 from repro.harness.experiments import ALL_TOPOLOGIES, topo_sensitivity  # noqa: E402
+from repro.sim import Compute  # noqa: E402
 from repro.sim.config import ndp_2_5d  # noqa: E402
 from repro.sim.network import Interconnect  # noqa: E402
 from repro.sim.stats import SystemStats  # noqa: E402
@@ -37,6 +43,12 @@ from repro.sim.topo import build_topology  # noqa: E402
 
 UNIT_STEPS = (4, 16)
 MECHANISMS = ("hier", "syncron")
+
+#: the degraded scenario: both directions of ring channel (0, 1) fail
+#: permanently at cycle 400 — early enough to land mid-run.
+DEGRADED_UNITS = 8
+DEGRADED_FAULTS = ((0, 1, 400, 0), (1, 0, 400, 0))
+DEGRADED_ROUNDS = 8
 
 
 def bench_remote_latency(topology: str, calls: int = 100_000) -> float:
@@ -53,6 +65,53 @@ def bench_remote_latency(topology: str, calls: int = 100_000) -> float:
         now += 40
     elapsed = time.perf_counter() - start
     return calls / elapsed
+
+
+def _run_ring_lock(mechanism: str, fault_links=()) -> tuple:
+    """(stats, makespan) of the deterministic ring-lock microbenchmark."""
+    config = ndp_2_5d(num_units=DEGRADED_UNITS, cores_per_unit=4,
+                      client_cores_per_unit=3, topology="ring",
+                      fault_links=fault_links)
+    system = NDPSystem(config, mechanism=mechanism)
+    lock = system.create_syncvar(name="bench_lock")
+
+    def worker():
+        for _ in range(DEGRADED_ROUNDS):
+            yield api.lock_acquire(lock)
+            yield Compute(20)
+            yield api.lock_release(lock)
+
+    cycles = system.run_programs(
+        {core.core_id: worker() for core in system.cores})
+    return system.stats, cycles
+
+
+def bench_degraded() -> dict:
+    """The graceful-degradation scenario, asserted before reporting."""
+    out = {
+        "scenario": {
+            "workload": "ring lock microbenchmark",
+            "num_units": DEGRADED_UNITS,
+            "fault_links": [list(f) for f in DEGRADED_FAULTS],
+            "rounds": DEGRADED_ROUNDS,
+        },
+    }
+    for mech in MECHANISMS:
+        _, pristine = _run_ring_lock(mech)
+        stats, cycles = _run_ring_lock(mech, fault_links=DEGRADED_FAULTS)
+        if not (cycles > pristine and stats.reroutes > 0):
+            raise AssertionError(
+                f"degraded ring did not reroute under {mech}: "
+                f"{cycles} vs pristine {pristine} cycles, "
+                f"{stats.reroutes} reroutes"
+            )
+        out[mech] = {
+            "slowdown_vs_pristine": round(cycles / pristine, 4),
+            "reroutes": stats.reroutes,
+            "detour_bit_hops": stats.detour_bit_hops,
+            "failed_link_cycles": stats.failed_link_cycles,
+        }
+    return out
 
 
 def main(argv=None) -> int:
@@ -109,6 +168,14 @@ def main(argv=None) -> int:
               f"16u slowdown: hier {slow16['hier']:.3f}x / "
               f"syncron {slow16['syncron']:.3f}x, "
               f"{fabric['remote_latency_calls_per_sec']:,} routed calls/s")
+
+    results["degraded"] = bench_degraded()
+    for mech in MECHANISMS:
+        cell = results["degraded"][mech]
+        print(f"degraded   ring {DEGRADED_UNITS}u, severed (0,1): {mech} "
+              f"{cell['slowdown_vs_pristine']:.3f}x slower, "
+              f"{cell['reroutes']} reroutes, "
+              f"{cell['detour_bit_hops']} detour bit-hops")
 
     if args.output:
         Path(args.output).write_text(json.dumps(results, indent=2) + "\n")

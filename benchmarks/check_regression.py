@@ -92,6 +92,12 @@ GATES: Dict[str, List[Tuple]] = {
         ("within", "fabrics.*.slowdown_vs_all_to_all.*.*", 0.02, None),
         ("within", "fabrics.*.mean_hops_16u", 0.02, None),
         ("equals", "fabrics.*.diameter_16u", None, None),
+        # Degraded-ring scenario: reroute behaviour is deterministic; the
+        # * fans out over mechanisms (the scenario dict has none of these
+        # keys, so wildcard expansion skips it).
+        ("within", "degraded.*.slowdown_vs_pristine", 0.02, None),
+        ("equals", "degraded.*.reroutes", None, None),
+        ("equals", "degraded.*.detour_bit_hops", None, None),
     ],
     "BENCH_corun.json": [
         ("expect", "isolation_identical", True, None),

@@ -87,6 +87,9 @@ EXPERIMENTS: Dict[str, tuple] = {
     "interference": (experiments.interference,
                      "co-run tenant slowdown vs alone (tenant pairs x "
                      "mechanisms x fabrics)"),
+    "degradation": (experiments.degradation,
+                    "graceful degradation under link faults (mechanism x "
+                    "fabric x fault severity)"),
 }
 
 #: experiment name -> how to draw it (chart kind, x/group key, series).
@@ -108,6 +111,7 @@ _PLOTS: Dict[str, tuple] = {
                     ("syncron_ops_ms", "hier_ops_ms"), False),
     "ext_smt": ("line", "threads_per_core", ("syncron", "ideal"), False),
     "topo_sensitivity": ("bars", "label", _MECHS, False),
+    "degradation": ("bars", "label", ("central", "hier", "syncron"), False),
 }
 
 
@@ -137,6 +141,7 @@ _SEQUENCE_PARAMS = frozenset({
     "combos", "core_steps", "st_sizes", "latencies_ns", "intervals",
     "datasets", "structures", "unit_steps", "core_counts", "mechanisms",
     "topologies", "groups", "descs", "unit_split", "core_split",
+    "severities",
 })
 
 
@@ -219,6 +224,20 @@ def cmd_run(args) -> int:
     if name in _POSITIONAL and _POSITIONAL[name] not in kwargs:
         print(f"{name} needs --arg {_POSITIONAL[name]}=...", file=sys.stderr)
         return 2
+    # --faults / --link-profile are convenience spellings of the same-named
+    # experiment kwargs; only experiments that declare them accept them.
+    import inspect
+
+    accepted = inspect.signature(fn).parameters
+    for flag in ("faults", "link_profile"):
+        value = getattr(args, flag, None)
+        if value is None:
+            continue
+        if flag not in accepted:
+            print(f"{name} does not take --{flag.replace('_', '-')}",
+                  file=sys.stderr)
+            return 2
+        kwargs[flag] = value
     STATS.reset()
     with _telemetry_scope(args), execution_options(**_runner_options(args)):
         result = fn(**kwargs)
@@ -279,9 +298,18 @@ def cmd_sweep(args) -> int:
         parsed = _parse_value(values)
         vary[key] = parsed if isinstance(parsed, tuple) else (parsed,)
 
+    base_overrides: Dict[str, object] = {}
     try:
+        if args.faults:
+            from repro.sim.topo.faults import parse_fault_spec
+            base_overrides.update(parse_fault_spec(args.faults))
+        if args.link_profile:
+            from repro.sim.topo.faults import parse_link_profile
+            base_overrides["link_profile"] = parse_link_profile(
+                args.link_profile)
         labeled = expand_matrix(workloads, mechanisms, vary=vary,
-                                preset=args.preset, seed=args.seed)
+                                preset=args.preset, seed=args.seed,
+                                base_overrides=base_overrides)
     except ValueError as exc:
         print(f"sweep: {exc}", file=sys.stderr)
         return 2
@@ -318,7 +346,9 @@ def cmd_sweep(args) -> int:
         row: Dict[str, object] = {
             "workload": label["args"][_SWEEP_LABEL_KEYS[label["workload"]]],
         }
-        row.update(label["overrides"])
+        # vary columns only: --faults/--link-profile base overrides are
+        # shared by every row and would just repeat long tuples.
+        row.update({k: v for k, v in label["overrides"].items() if k in vary})
         metrics = {
             lbl["mechanism"]: m
             for (lbl, _spec), m in zip(chunk, results[start:start + len(mechanisms)])
@@ -740,6 +770,14 @@ def build_parser() -> argparse.ArgumentParser:
                      help="experiment keyword argument (repeatable)")
     run.add_argument("--plot", action="store_true",
                      help="also draw a terminal chart in the figure's shape")
+    run.add_argument("--faults", default=None, metavar="SPEC",
+                     help="fault plan for fault-aware experiments "
+                          "(degradation): comma-separated events like "
+                          "'0>1@100', '2-3@50+500', 'unit:1@200', or "
+                          "scalars 'rate=0.1', 'seed=7'")
+    run.add_argument("--link-profile", default=None, metavar="SPEC",
+                     help="per-channel overrides like "
+                          "'0>1=25.6:80,2-3=:200' (GB/s and/or ns)")
     add_runner_flags(run)
 
     sweep = sub.add_parser(
@@ -766,6 +804,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="base SystemConfig preset (default ndp_2_5d)")
     sweep.add_argument("--seed", type=int, default=None,
                        help="workload seed forwarded to seedable workloads")
+    sweep.add_argument("--faults", default=None, metavar="SPEC",
+                       help="inject a fault plan into every run: events like "
+                            "'0>1@100', '2-3@50+500', 'unit:1@200', or "
+                            "scalars 'rate=0.1', 'transient=0.05', 'seed=7'")
+    sweep.add_argument("--link-profile", default=None, metavar="SPEC",
+                       help="per-channel bandwidth/latency overrides for "
+                            "every run, e.g. '0>1=25.6:80,2-3=:200'")
     sweep.add_argument("--dry-run", action="store_true",
                        help="print the resolved run matrix and cache "
                             "hit/miss counts without simulating anything")

@@ -22,6 +22,7 @@ from typing import Dict, List, Optional, Sequence
 from repro.harness.runner import run_sweep
 from repro.harness.specs import RunSpec, SweepSpec, split_combo
 from repro.sim.config import MEMORY_TECHNOLOGIES, PRESETS, ndp_2_5d
+from repro.sim.topo.faults import parse_fault_spec, parse_link_profile
 from repro.workloads.base import scaled
 from repro.workloads.datastructures import ALL_STRUCTURES
 from repro.workloads.graphs import bfs_partition, load_dataset, random_partition
@@ -505,6 +506,108 @@ def topo_sensitivity(topologies: Sequence[str] = ALL_TOPOLOGIES,
                 baseline = cycles[(units, "all_to_all", mech)]
                 row[mech] = makespan / baseline if baseline else float("inf")
                 row[f"{mech}_cycles"] = makespan
+            rows.append(row)
+    return rows
+
+
+# ======================================================================
+# Graceful degradation — mechanism x fabric x fault severity (extension)
+# ======================================================================
+#: default severities: fraction of physical channels failed permanently.
+DEGRADATION_SEVERITIES = (0.0, 0.0625, 0.125, 0.25)
+
+
+def degradation(topologies: Sequence[str] = ("ring", "mesh2d"),
+                severities: Sequence[float] = DEGRADATION_SEVERITIES,
+                mechanisms: Sequence[str] = ("central", "syncron"),
+                num_units: int = 8,
+                interval: int = 200,
+                rounds: Optional[int] = None,
+                fault_seed: int = 1,
+                policy: str = "static",
+                window: int = 8_000,
+                faults: Optional[str] = None,
+                link_profile: Optional[str] = None) -> List[Dict]:
+    """How each mechanism degrades as the fabric loses links.
+
+    Sweeps mechanism x fabric x fault severity over the cross-unit-heavy
+    lock microbenchmark of :func:`topo_sensitivity`.  Severity is the
+    fraction of physical channels failed permanently at seed-derived times
+    within ``window`` cycles (early enough to land mid-run at these sizes);
+    all mechanisms at one (topology, severity) share the exact same
+    seed-derived :class:`~repro.sim.topo.faults.FaultPlan`, so the
+    comparison isolates the mechanism.  Rate-derived plans are
+    connectivity-guarded — the fabric degrades but never partitions.
+
+    Rows: one per (topology, severity).  Per mechanism, ``<mech>`` is the
+    slowdown vs the same mechanism on the same fabric with no faults, plus
+    ``<mech>_cycles`` / ``<mech>_reroutes`` / ``<mech>_detour_bit_hops``
+    from the run's counters; ``links_failed`` / ``hop_inflation`` describe
+    the surviving geometry (via the ``fabric_probe`` measurement).
+
+    ``faults`` / ``policy`` / ``link_profile`` expose the CLI knobs: an
+    explicit ``--faults`` spec (parsed, applied to *every* cell on top of
+    the severity), the routing policy, and a ``--link-profile`` spec.
+    """
+    severities = tuple(float(s) for s in severities)
+    if 0.0 not in severities:  # the normalization baseline
+        severities = (0.0, *severities)
+    rounds = rounds if rounds is not None else scaled(6)
+    base: Dict[str, object] = {
+        "num_units": int(num_units),
+        "cores_per_unit": 4,
+        "client_cores_per_unit": 3,
+        "fault_seed": int(fault_seed),
+        "fault_window_cycles": int(window),
+        "routing_policy": policy,
+    }
+    if faults:
+        base.update(parse_fault_spec(faults))
+    if link_profile:
+        base["link_profile"] = parse_link_profile(link_profile)
+    sweep = SweepSpec.matrix(
+        "degradation",
+        workloads=[("primitive", {"primitive": "lock", "interval": interval,
+                                  "rounds": rounds})],
+        mechanisms=tuple(mechanisms),
+        vary={"topology": tuple(topologies),
+              "fault_link_rate": severities},
+        base_overrides=base,
+    )
+    results = iter(run_sweep(sweep))
+    # matrix order: vary combos (topology outer, severity inner), then
+    # mechanisms innermost.
+    metrics: Dict[tuple, object] = {}
+    for topo in topologies:
+        for severity in severities:
+            for mech in mechanisms:
+                metrics[(topo, severity, mech)] = next(results)
+    probes = iter(run_sweep(SweepSpec.of("degradation_probe", [
+        RunSpec.make("fabric_probe", mechanism=mechanisms[0],
+                     overrides={**base, "topology": topo,
+                                "fault_link_rate": severity})
+        for topo in topologies for severity in severities
+    ])))
+    rows = []
+    for topo in topologies:
+        for severity in severities:
+            probe = next(probes)
+            row: Dict[str, object] = {
+                "topology": topo,
+                "severity": severity,
+                "label": f"{topo}@{severity:g}",
+                "links_failed": int(probe["links_failed"]),
+                "hop_inflation": round(probe["hop_inflation"], 4),
+            }
+            for mech in mechanisms:
+                run = metrics[(topo, severity, mech)]
+                healthy = metrics[(topo, 0.0, mech)]
+                row[mech] = (run.cycles / healthy.cycles
+                             if healthy.cycles else float("inf"))
+                row[f"{mech}_cycles"] = run.cycles
+                row[f"{mech}_reroutes"] = int(run.stats["reroutes"])
+                row[f"{mech}_detour_bit_hops"] = int(
+                    run.stats["detour_bit_hops"])
             rows.append(row)
     return rows
 

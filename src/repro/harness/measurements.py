@@ -191,3 +191,53 @@ def smt_point(config: SystemConfig, mechanism: str,
         {core.core_id: worker() for core in system.cores}
     )
     return {"makespan": makespan}
+
+
+# ----------------------------------------------------------------------
+# Degraded-fabric geometry probe (no workload; pure routing)
+# ----------------------------------------------------------------------
+def fabric_probe(config: SystemConfig, mechanism: str) -> Dict[str, float]:
+    """Route inflation of a fabric under its config's *permanent* faults.
+
+    Applies the deterministic :class:`~repro.sim.topo.faults.FaultPlan`'s
+    permanent failures instantly (transients are a timing effect, invisible
+    to steady-state geometry) and compares every ordered pair's surviving
+    route against the pristine table.  ``mechanism`` is unused — fabric
+    geometry is mechanism-independent — and rides along so the spec shape
+    stays uniform.
+    """
+    from repro.sim.network import Interconnect
+    from repro.sim.stats import SystemStats
+    from repro.sim.topo.faults import FaultPlan
+
+    config.validate()
+    stats = SystemStats()
+    interconnect = Interconnect(config, stats)
+    topology = interconnect.topology
+    plan = FaultPlan.from_config(config, topology)
+    for event in plan.events:
+        if not event.permanent:
+            continue
+        if event.kind == "link":
+            interconnect.fail_link(event.target, event.at)
+        else:
+            interconnect.fail_unit(event.target, event.at)
+    pairs = [
+        (src, dst)
+        for src in range(config.num_units)
+        for dst in range(config.num_units)
+        if src != dst
+    ]
+    pristine = sum(topology.hops(src, dst) for src, dst in pairs)
+    degraded = sum(interconnect.remote_hops(src, dst) for src, dst in pairs)
+    return {
+        "pairs": len(pairs),
+        "links_failed": len(interconnect.dead_channels),
+        "units_failed": len(interconnect.dead_units),
+        "plan_events": len(plan.events),
+        "plan_skipped": len(plan.skipped),
+        "mean_hops": pristine / len(pairs) if pairs else 0.0,
+        "mean_hops_degraded": degraded / len(pairs) if pairs else 0.0,
+        "hop_inflation": degraded / pristine if pristine else 1.0,
+        "reroutes": stats.reroutes,
+    }

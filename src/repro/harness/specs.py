@@ -47,12 +47,16 @@ from repro.workloads.unionfind import UnionFindWorkload
 #: NOT part of the cache key — see EXPERIMENTS.md).  v2: the spin baselines
 #: (rmw_spin/bakery) moved from explicit poll chains to wait-channels with
 #: analytically-charged elided polls, changing their reference numbers.
-CACHE_FORMAT_VERSION = 2
+#: v3: RunMetrics.stats gained the degraded-fabric counters (reroutes /
+#: failed_link_cycles / detour_bit_hops), changing the cached schema.
+CACHE_FORMAT_VERSION = 3
 
 #: CLI-friendly aliases for SystemConfig override fields.
 CONFIG_ALIASES = {
     "elide": "elide_waits",
+    "fault_rate": "fault_link_rate",
     "link_latency": "link_latency_ns",
+    "policy": "routing_policy",
     "st": "st_entries",
     "topo": "topology",
     "units": "num_units",
@@ -485,6 +489,7 @@ MEASUREMENTS: Dict[str, str] = {
     "mesi_stack": "repro.harness.measurements:mesi_stack_cycles",
     "fairness": "repro.harness.measurements:fairness_point",
     "smt": "repro.harness.measurements:smt_point",
+    "fabric_probe": "repro.harness.measurements:fabric_probe",
 }
 
 

@@ -18,9 +18,60 @@ from __future__ import annotations
 import hashlib
 import json
 from dataclasses import asdict, dataclass, field, fields, replace
-from typing import Callable, Dict
+from typing import Callable, Dict, Optional, Tuple
 
 from repro.sim.clock import core_cycles_from_ns
+
+
+def _float_or_none(value) -> Optional[float]:
+    return None if value is None else float(value)
+
+
+def _norm_link_profile(entries) -> Tuple:
+    """Canonical ``(src, dst, gbps|None, latency_ns|None)`` tuples."""
+    out = []
+    for entry in entries:
+        entry = tuple(entry)
+        if len(entry) != 4:
+            raise ValueError(
+                "link_profile entries must be (src, dst, bandwidth_gbps, "
+                f"latency_ns), got {entry!r}"
+            )
+        src, dst, gbps, lat = entry
+        out.append((int(src), int(dst), _float_or_none(gbps), _float_or_none(lat)))
+    return tuple(out)
+
+
+def _norm_fault_links(entries) -> Tuple:
+    """Canonical ``(src, dst, at_cycle, down_cycles)``; 3-tuples mean permanent."""
+    out = []
+    for entry in entries:
+        entry = tuple(entry)
+        if len(entry) == 3:
+            entry = entry + (0,)
+        if len(entry) != 4:
+            raise ValueError(
+                "fault_links entries must be (src, dst, at_cycle[, "
+                f"down_cycles]), got {entry!r}"
+            )
+        out.append(tuple(int(v) for v in entry))
+    return tuple(out)
+
+
+def _norm_fault_units(entries) -> Tuple:
+    """Canonical ``(unit, at_cycle, down_cycles)``; 2-tuples mean permanent."""
+    out = []
+    for entry in entries:
+        entry = tuple(entry)
+        if len(entry) == 2:
+            entry = entry + (0,)
+        if len(entry) != 3:
+            raise ValueError(
+                "fault_units entries must be (unit, at_cycle[, down_cycles]), "
+                f"got {entry!r}"
+            )
+        out.append(tuple(int(v) for v in entry))
+    return tuple(out)
 
 
 @dataclass(frozen=True)
@@ -133,8 +184,44 @@ class SystemConfig:
     #: over shared multi-hop channels, so contention and distance emerge.
     topology: str = "all_to_all"
     #: grid rows for ``mesh2d``/``torus2d``; 0 picks the squarest
-    #: factorization of ``num_units`` (16 -> 4x4, 12 -> 3x4).
+    #: factorization of ``num_units`` (16 -> 4x4, 12 -> 3x4).  Non-grid
+    #: fabrics ignore rows, so ``__post_init__`` normalizes them to 0 there
+    #: — otherwise two configs describing the same machine would hash (and
+    #: therefore cache) differently.
     topo_rows: int = 0
+    #: per-channel overrides for heterogeneous fabrics: a tuple of
+    #: ``(src, dst, bandwidth_gbps, latency_ns)`` entries, one per directed
+    #: channel.  ``None`` in either slot keeps the global value
+    #: (``link_bandwidth_gbps`` / ``link_latency_ns``).  Channels not listed
+    #: use the globals, so ``()`` — the default — is the uniform fabric.
+    link_profile: Tuple = ()
+    #: route selection over the fabric (see :mod:`repro.sim.topo.policies`):
+    #: ``"static"`` (pristine table; BFS fallback only when a fault severs
+    #: the path), ``"degraded"`` (least-cost over surviving channels by
+    #: per-link latency + serialization), or ``"load_aware"`` (per-transfer
+    #: choice among minimal routes by live link queue depth).
+    routing_policy: str = "static"
+
+    # --- fault injection (see :mod:`repro.sim.topo.faults`) -------------
+    #: seed for the rate-derived part of the fault plan.
+    fault_seed: int = 0
+    #: explicit link faults: ``(src, dst, at_cycle, down_cycles)`` with
+    #: ``down_cycles == 0`` meaning permanent (3-tuples are normalized).
+    fault_links: Tuple = ()
+    #: explicit unit faults: ``(unit, at_cycle, down_cycles)``.  A failed
+    #: unit stops *forwarding* transit traffic but remains reachable as an
+    #: endpoint (its cores and memory still operate).
+    fault_units: Tuple = ()
+    #: fraction of physical channels that fail permanently at a
+    #: seed-derived time within ``fault_window_cycles``.
+    fault_link_rate: float = 0.0
+    #: fraction of physical channels that fail transiently (down for
+    #: ``fault_repair_cycles``) at a seed-derived time.
+    fault_transient_rate: float = 0.0
+    #: rate-derived fault times are drawn uniformly from [0, window).
+    fault_window_cycles: int = 20_000
+    #: downtime of one rate-derived transient fault.
+    fault_repair_cycles: int = 4_000
 
     # --- Synchronization Engine ------------------------------------------
     st_entries: int = 64
@@ -175,6 +262,29 @@ class SystemConfig:
 
     # --- misc -------------------------------------------------------------
     seed: int = 0
+
+    def __post_init__(self) -> None:
+        # Canonicalize before anything hashes us (frozen dataclass:
+        # object.__setattr__ is the sanctioned idiom).  JSON round-trips
+        # deliver lists where the canonical form is tuples, and rows set on
+        # a non-grid fabric describe the same machine as rows unset; both
+        # must serialize identically or cache keys split on phantom state.
+        if self.link_profile:
+            object.__setattr__(self, "link_profile",
+                               _norm_link_profile(self.link_profile))
+        if self.fault_links:
+            object.__setattr__(self, "fault_links",
+                               _norm_fault_links(self.fault_links))
+        if self.fault_units:
+            object.__setattr__(self, "fault_units",
+                               _norm_fault_units(self.fault_units))
+        if self.topo_rows > 0:
+            # negative rows stay as-is for validate() to reject.
+            from repro.sim.topo.regular import TOPOLOGIES
+
+            cls = TOPOLOGIES.get(self.topology)
+            if cls is not None and not cls.GRID:
+                object.__setattr__(self, "topo_rows", 0)
 
     # ------------------------------------------------------------------
     # Derived values
@@ -239,16 +349,23 @@ class SystemConfig:
     def validate(self) -> None:
         # imported here: repro.sim.topo has no module-level config import,
         # but keeping this lazy makes the layering obvious and cycle-proof.
-        from repro.sim.topo import build_topology, mesh_shape
+        from repro.sim.topo import build_topology
+        from repro.sim.topo.policies import POLICIES
 
         if self.num_units < 1:
             raise ValueError("need at least one NDP unit")
-        # raises for unknown topology names (and, for grid fabrics, shapes
-        # that don't fit num_units).
+        if self.topo_rows < 0:
+            raise ValueError("topo_rows must be non-negative")
+        # raises for unknown topology names (and, for grid fabrics, rows
+        # that don't divide num_units).  Non-grid fabrics can't reach here
+        # with rows set: __post_init__ normalized them to 0.
         build_topology(self)
-        # rows must stay coherent even when the active fabric ignores them
-        # (they are part of the config hash / cache key).
-        mesh_shape(self.num_units, self.topo_rows)
+        if self.routing_policy not in POLICIES:
+            raise ValueError(
+                f"unknown routing_policy {self.routing_policy!r}; choose "
+                f"from {sorted(POLICIES)}"
+            )
+        self._validate_fabric_overrides()
         if not 0 < self.client_cores_per_unit <= self.cores_per_unit:
             raise ValueError("client cores must be in (0, cores_per_unit]")
         if self.threads_per_core < 1:
@@ -268,6 +385,57 @@ class SystemConfig:
             raise ValueError("async issue cost must be at least one cycle")
         if self.l1_size_bytes % (self.l1_ways * self.cache_line_bytes):
             raise ValueError("L1 size must be a multiple of ways*line")
+
+    def _validate_fabric_overrides(self) -> None:
+        """Shape/range checks for link_profile and the fault fields.
+
+        Whether a profiled or faulted channel physically exists in the
+        chosen fabric is checked where the channel set is known — by the
+        :class:`~repro.sim.network.Interconnect` (profiles) and
+        :class:`~repro.sim.topo.faults.FaultPlan` (faults).
+        """
+        n = self.num_units
+        for name in ("fault_link_rate", "fault_transient_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {rate}")
+        if self.fault_window_cycles < 1:
+            raise ValueError("fault_window_cycles must be positive")
+        if self.fault_repair_cycles < 1:
+            raise ValueError("fault_repair_cycles must be positive")
+        seen = set()
+        for src, dst, gbps, lat in self.link_profile:
+            if src == dst or not (0 <= src < n and 0 <= dst < n):
+                raise ValueError(
+                    f"link_profile channel ({src}, {dst}) is not an ordered "
+                    f"pair of distinct units in [0, {n})"
+                )
+            if (src, dst) in seen:
+                raise ValueError(
+                    f"duplicate link_profile entry for channel ({src}, {dst})"
+                )
+            seen.add((src, dst))
+            if gbps is None and lat is None:
+                raise ValueError(
+                    f"link_profile entry for ({src}, {dst}) overrides nothing"
+                )
+            if gbps is not None and gbps <= 0:
+                raise ValueError("link_profile bandwidth must be positive")
+            if lat is not None and lat < 0:
+                raise ValueError("link_profile latency must be non-negative")
+        for src, dst, at, down in self.fault_links:
+            if src == dst or not (0 <= src < n and 0 <= dst < n):
+                raise ValueError(
+                    f"fault_links channel ({src}, {dst}) is not an ordered "
+                    f"pair of distinct units in [0, {n})"
+                )
+            if at < 0 or down < 0:
+                raise ValueError("fault times and durations must be >= 0")
+        for unit, at, down in self.fault_units:
+            if not 0 <= unit < n:
+                raise ValueError(f"fault_units unit {unit} not in [0, {n})")
+            if at < 0 or down < 0:
+                raise ValueError("fault times and durations must be >= 0")
 
 
 def ndp_2_5d(**overrides) -> SystemConfig:
@@ -291,6 +459,14 @@ def ndp_mesh(**overrides) -> SystemConfig:
     Same per-unit parameters as :func:`ndp_2_5d`, but the inter-unit
     traffic crosses a routed mesh instead of dedicated pairwise channels,
     so cross-unit latency depends on placement and load.
+
+    Shape caveat: with ``topo_rows`` unset the grid is the squarest
+    factorization of ``num_units`` (16 -> 4x4).  A *prime* ``num_units``
+    has no non-trivial factorization, so
+    :func:`~repro.sim.topo.mesh_shape` degenerates to a 1xN line — twice
+    the diameter of a near-square grid — and emits a ``RuntimeWarning``
+    rather than failing.  Pick a composite unit count (or pass
+    ``topo_rows``) when the mesh geometry matters.
     """
     cfg = SystemConfig(memory=HBM, num_units=16, topology="mesh2d")
     return cfg.with_(**overrides) if overrides else cfg

@@ -21,6 +21,15 @@ costs real cycles.  The default ``all_to_all`` fabric has a dedicated
 channel per ordered unit pair and reproduces the pre-topology simulator
 bit-identically.
 
+Degraded and heterogeneous fabrics: ``SystemConfig.link_profile`` gives
+individual channels their own bandwidth/latency, a
+:class:`~repro.sim.topo.faults.FaultPlan` kills channels or unit routers
+mid-run (see :meth:`Interconnect.fail_link`), and the configured
+:mod:`routing policy <repro.sim.topo.policies>` decides how routes are
+recomputed over the survivors.  The zero-fault, uniform-profile, static
+path is the memoized pristine table — bit-identical to a fabric that has
+none of this machinery.
+
 Both components record traffic into :class:`~repro.sim.stats.SystemStats`
 so the energy model and the Fig. 15 data-movement results need no extra
 hooks; the fabric additionally counts ``link_bit_hops`` (bits x links
@@ -30,11 +39,21 @@ traversed) for per-hop link energy.
 from __future__ import annotations
 
 import math
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional, Set, Tuple
 
+from repro.sim.clock import core_cycles_from_ns
 from repro.sim.config import SystemConfig
 from repro.sim.stats import SystemStats
-from repro.sim.topo import Channel, Topology, build_topology
+from repro.sim.topo import (
+    Channel,
+    FabricPartitionedError,
+    Topology,
+    build_policy,
+    build_topology,
+    route_intact,
+    unreachable_pairs,
+)
+from repro.telemetry import get_telemetry
 
 
 class LoadEstimator:
@@ -162,14 +181,29 @@ class Link:
     __slots__ = ("config", "stats", "_next_free", "_bytes_per_cycle",
                  "_latency_cycles")
 
-    def __init__(self, config: SystemConfig, stats: SystemStats):
+    def __init__(self, config: SystemConfig, stats: SystemStats,
+                 bytes_per_cycle: Optional[float] = None,
+                 latency_cycles: Optional[int] = None):
         self.config = config
         self.stats = stats
         self._next_free = 0
         # link_bytes_per_cycle / link_latency_cycles are @property chains on
-        # the config dataclass; resolve them once.
-        self._bytes_per_cycle = config.link_bytes_per_cycle
-        self._latency_cycles = config.link_latency_cycles
+        # the config dataclass; resolve them once.  A heterogeneous
+        # link_profile hands individual channels their own values.
+        self._bytes_per_cycle = (
+            config.link_bytes_per_cycle if bytes_per_cycle is None
+            else bytes_per_cycle
+        )
+        self._latency_cycles = (
+            config.link_latency_cycles if latency_cycles is None
+            else latency_cycles
+        )
+
+    def queue_delay(self, now: int) -> int:
+        """Cycles a packet injected at ``now`` would wait behind earlier
+        traffic (the load-aware policy's selection signal; read-only)."""
+        wait = self._next_free - now
+        return wait if wait > 0 else 0
 
     def reserve(self, now: int, nbytes: int) -> int:
         """Timing only: queue behind earlier packets, serialize, propagate.
@@ -204,10 +238,21 @@ class Interconnect:
     each pair's route; this class owns one :class:`Link` per channel (so
     routes that share a channel share its reservation queue) and memoizes
     each ordered pair's route as a tuple of Link objects for the hot path.
+
+    Fault state lives here too: :meth:`fail_link` / :meth:`fail_unit`
+    (driven by :meth:`FaultPlan.arm <repro.sim.topo.faults.FaultPlan.arm>`
+    timers) mark channels/routers dead, invalidate the memoized routes, and
+    let the configured routing policy recompute over the survivors.  The
+    fabric stays on the policy path once the first fault lands
+    (``_degraded`` is sticky) so downtime accounting and reroute detection
+    stay deterministic across repair churn; a fault that disconnects live
+    units raises :class:`FabricPartitionedError` at injection — loudly,
+    never as a hang.
     """
 
     __slots__ = ("config", "stats", "crossbars", "topology", "_links",
-                 "_routes")
+                 "_routes", "_profiles", "_policy", "_adaptive", "_degraded",
+                 "_dead_channels", "_dead_units", "_down_since", "_resolved")
 
     def __init__(self, config: SystemConfig, stats: SystemStats):
         self.config = config
@@ -216,27 +261,241 @@ class Interconnect:
         self.topology: Topology = build_topology(config)
         self._links: Dict[Channel, Link] = {}
         self._routes: Dict[Tuple[int, int], Tuple[Link, ...]] = {}
+        self._profiles = self._build_profiles(config)
+        self._policy = build_policy(config.routing_policy, self.topology, self)
+        #: multipath policies resolve per transfer; single-path memoize.
+        self._adaptive = self._policy.multipath
+        #: sticky: flips on the first fault and stays on, moving the hot
+        #: path from the pristine table to the policy layer for the rest of
+        #: the run.  A non-static policy starts there — e.g. "degraded"
+        #: reshapes routes around slow profiled links with nothing failed.
+        self._degraded = self._policy.name != "static"
+        self._dead_channels: Set[Channel] = set()
+        self._dead_units: Set[int] = set()
+        self._down_since: Dict[Channel, int] = {}
+        #: (src, dst) -> ((links, extra_hops), ...) candidates under the
+        #: policy; cleared whenever fabric state changes.
+        self._resolved: Dict[Tuple[int, int], Tuple] = {}
 
+    # ------------------------------------------------------------------
+    # Heterogeneous link parameters
+    # ------------------------------------------------------------------
+    def _build_profiles(self, config: SystemConfig) -> Dict[Channel, Tuple[float, int]]:
+        """channel -> (bytes/cycle, latency cycles) from the link profile."""
+        if not config.link_profile:
+            return {}
+        valid = set(self.topology.channels())
+        default_bpc = config.link_bytes_per_cycle
+        default_lat = config.link_latency_cycles
+        profiles: Dict[Channel, Tuple[float, int]] = {}
+        for src, dst, gbps, lat_ns in config.link_profile:
+            channel = (src, dst)
+            if channel not in valid:
+                raise ValueError(
+                    f"link_profile channel {channel} does not exist in the "
+                    f"{self.topology.name!r} fabric"
+                )
+            profiles[channel] = (
+                # GB/s -> bytes/core-cycle, same conversion as the
+                # SystemConfig.link_bytes_per_cycle property.
+                default_bpc if gbps is None else gbps / 2.5,
+                default_lat if lat_ns is None else core_cycles_from_ns(lat_ns),
+            )
+        return profiles
+
+    def link_parameters(self, channel: Channel) -> Tuple[float, int]:
+        """(bytes/cycle, latency cycles) of one channel, profile applied."""
+        profile = self._profiles.get(channel)
+        if profile is not None:
+            return profile
+        return self.config.link_bytes_per_cycle, self.config.link_latency_cycles
+
+    def link_cost(self, channel: Channel) -> float:
+        """Route cost of one channel for the degraded-shortest-path policy:
+        propagation latency plus one cache line's serialization time."""
+        bytes_per_cycle, latency = self.link_parameters(channel)
+        return latency + self.config.cache_line_bytes / bytes_per_cycle
+
+    def _link_for(self, channel: Channel) -> Link:
+        link = self._links.get(channel)
+        if link is None:
+            bytes_per_cycle, latency = self.link_parameters(channel)
+            link = Link(self.config, self.stats,
+                        bytes_per_cycle=bytes_per_cycle,
+                        latency_cycles=latency)
+            self._links[channel] = link
+        return link
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
     def _route(self, src_unit: int, dst_unit: int) -> Tuple[Link, ...]:
-        """The Link objects a transfer crosses, in order (memoized)."""
+        """Pristine route as Link objects, in order (memoized hot path)."""
         key = (src_unit, dst_unit)
         route = self._routes.get(key)
         if route is None:
-            links = self._links
-            resolved = []
-            for channel in self.topology.route(src_unit, dst_unit):
-                link = links.get(channel)
-                if link is None:
-                    link = Link(self.config, self.stats)
-                    links[channel] = link
-                resolved.append(link)
-            route = tuple(resolved)
+            route = tuple(
+                self._link_for(channel)
+                for channel in self.topology.route(src_unit, dst_unit)
+            )
             self._routes[key] = route
         return route
 
+    def _resolve(self, key: Tuple[int, int]) -> Tuple:
+        """Policy-layer route candidates for one pair (memoized).
+
+        Counts a ``reroute`` (and emits telemetry) when the pristine route
+        is severed by the current fault state — once per pair per fault
+        epoch, since every fabric-state change clears the memo.
+        """
+        src_unit, dst_unit = key
+        pristine = self.topology.route(src_unit, dst_unit)
+        tel = get_telemetry()
+        if tel.enabled:
+            with tel.span("fabric.resolve", policy=self._policy.name):
+                routes = self._policy.candidates(src_unit, dst_unit)
+        else:
+            routes = self._policy.candidates(src_unit, dst_unit)
+        if (self._dead_channels or self._dead_units) and not route_intact(
+                pristine, self._dead_channels, self._dead_units):
+            self.stats.reroutes += 1
+            if tel.enabled:
+                tel.count("fabric.reroutes")
+                tel.event("fabric.reroute", src=src_unit, dst=dst_unit,
+                          pristine_hops=len(pristine),
+                          detour_hops=len(routes[0]))
+        pristine_hops = len(pristine)
+        candidates = tuple(
+            (
+                tuple(self._link_for(channel) for channel in route),
+                len(route) - pristine_hops if len(route) > pristine_hops else 0,
+            )
+            for route in routes
+        )
+        self._resolved[key] = candidates
+        return candidates
+
+    def _routed(self, src_unit: int, dst_unit: int, now: int) -> Tuple:
+        """(links, extra_hops) for one transfer under the active policy."""
+        candidates = self._resolved.get((src_unit, dst_unit))
+        if candidates is None:
+            candidates = self._resolve((src_unit, dst_unit))
+        if len(candidates) == 1:
+            return candidates[0]
+        # Load-aware: pick the candidate with the least queued backlog at
+        # injection time; ties keep enumeration (lexicographic) order.
+        best = candidates[0]
+        best_wait = -1
+        for candidate in candidates:
+            wait = 0
+            for link in candidate[0]:
+                wait += link.queue_delay(now)
+            if best_wait < 0 or wait < best_wait:
+                best, best_wait = candidate, wait
+        return best
+
     def remote_hops(self, src_unit: int, dst_unit: int) -> int:
-        """Physical links a ``src -> dst`` transfer crosses (0 if local)."""
+        """Physical links a ``src -> dst`` transfer crosses (0 if local).
+
+        On a degraded or adaptive fabric this is the policy's primary
+        route, so analytically-charged (elided) transfers account the same
+        hop count real packets pay.
+        """
+        if src_unit == dst_unit:
+            return 0
+        if self._degraded or self._adaptive:
+            candidates = self._resolved.get((src_unit, dst_unit))
+            if candidates is None:
+                candidates = self._resolve((src_unit, dst_unit))
+            return len(candidates[0][0])
         return self.topology.hops(src_unit, dst_unit)
+
+    # ------------------------------------------------------------------
+    # Fault injection (FaultPlan timers and tests call these directly)
+    # ------------------------------------------------------------------
+    @property
+    def dead_channels(self) -> Set[Channel]:
+        return self._dead_channels
+
+    @property
+    def dead_units(self) -> Set[int]:
+        return self._dead_units
+
+    def _invalidate(self) -> None:
+        self._routes.clear()
+        self._resolved.clear()
+
+    def _check_connected(self, now: int) -> None:
+        gaps = unreachable_pairs(
+            self.topology, self._dead_channels, self._dead_units)
+        if gaps:
+            raise FabricPartitionedError(
+                f"fault at t={now} partitioned the {self.topology.name!r} "
+                f"fabric: {len(gaps)} unreachable unit pairs (e.g. {gaps[:4]})"
+            )
+
+    def fail_link(self, channel: Channel, now: int = 0) -> None:
+        """Kill one directed channel (idempotent while already down)."""
+        channel = (channel[0], channel[1])
+        if channel in self._dead_channels:
+            return
+        tel = get_telemetry()
+        with tel.span("fabric.fault", kind="link"):
+            self._dead_channels.add(channel)
+            self._down_since[channel] = now
+            self._degraded = True
+            self._invalidate()
+            if tel.enabled:
+                tel.count("fabric.faults")
+                tel.event("fabric.fault", kind="link", src=channel[0],
+                          dst=channel[1], at=now)
+            self._check_connected(now)
+
+    def repair_link(self, channel: Channel, now: int = 0) -> None:
+        """Bring a dead channel back; charges its downtime."""
+        channel = (channel[0], channel[1])
+        if channel not in self._dead_channels:
+            return
+        self._dead_channels.discard(channel)
+        down_since = self._down_since.pop(channel)
+        if now > down_since:
+            self.stats.failed_link_cycles += now - down_since
+        self._invalidate()
+        tel = get_telemetry()
+        if tel.enabled:
+            tel.event("fabric.repair", kind="link", src=channel[0],
+                      dst=channel[1], at=now, down=now - down_since)
+
+    def fail_unit(self, unit: int, now: int = 0) -> None:
+        """Kill one unit's router: no transit, but still a valid endpoint."""
+        if unit in self._dead_units:
+            return
+        tel = get_telemetry()
+        with tel.span("fabric.fault", kind="unit"):
+            self._dead_units.add(unit)
+            self._degraded = True
+            self._invalidate()
+            if tel.enabled:
+                tel.count("fabric.faults")
+                tel.event("fabric.fault", kind="unit", unit=unit, at=now)
+            self._check_connected(now)
+
+    def repair_unit(self, unit: int, now: int = 0) -> None:
+        if unit not in self._dead_units:
+            return
+        self._dead_units.discard(unit)
+        self._invalidate()
+        tel = get_telemetry()
+        if tel.enabled:
+            tel.event("fabric.repair", kind="unit", unit=unit, at=now)
+
+    def finalize_faults(self, now: int) -> None:
+        """Charge downtime of links still dead at end of run (permanent
+        faults never see a repair event; idempotent at a fixed ``now``)."""
+        for channel, since in self._down_since.items():
+            if now > since:
+                self.stats.failed_link_cycles += now - since
+                self._down_since[channel] = now
 
     # ------------------------------------------------------------------
     def local_latency(self, unit: int, now: int, nbytes: int) -> int:
@@ -255,7 +514,12 @@ class Interconnect:
         if src_unit == dst_unit:
             return self.local_latency(src_unit, now, nbytes)
         latency = self.crossbars[src_unit].traverse(now, nbytes)
-        route = self._route(src_unit, dst_unit)
+        if self._degraded or self._adaptive:
+            route, extra = self._routed(src_unit, dst_unit, now + latency)
+            if extra:
+                self.stats.detour_bit_hops += nbytes * 8 * extra
+        else:
+            route = self._route(src_unit, dst_unit)
         stats = self.stats
         stats.bytes_across_units += nbytes
         stats.link_bit_hops += nbytes * 8 * len(route)

@@ -108,6 +108,17 @@ class SystemStats:
     #: ``bytes_across_units * 8``; routed fabrics charge every hop.
     link_bit_hops: int = 0
 
+    # Degraded-fabric accounting (all zero on a healthy fabric).
+    #: route resolutions that found the pristine path severed by a fault
+    #: and switched to a surviving detour (once per pair per fault epoch).
+    reroutes: int = 0
+    #: cycles x links of downtime: every failed link's unavailable time,
+    #: charged on repair (transients) or at end of run (permanent faults).
+    failed_link_cycles: int = 0
+    #: the share of ``link_bit_hops`` that exists only because transfers
+    #: detoured around faults (bits x extra links vs. the pristine route).
+    detour_bit_hops: int = 0
+
     # Message counts.
     sync_messages_local: int = 0
     sync_messages_global: int = 0
@@ -260,6 +271,9 @@ class SystemStats:
             "bytes_inside_units": self.bytes_inside_units,
             "bytes_across_units": self.bytes_across_units,
             "link_bit_hops": self.link_bit_hops,
+            "reroutes": self.reroutes,
+            "failed_link_cycles": self.failed_link_cycles,
+            "detour_bit_hops": self.detour_bit_hops,
             "sync_messages_local": self.sync_messages_local,
             "sync_messages_global": self.sync_messages_global,
             "sync_messages_overflow": self.sync_messages_overflow,

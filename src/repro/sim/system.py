@@ -31,6 +31,7 @@ from repro.sim.network import Interconnect
 from repro.sim.smt import IssuePort
 from repro.sim.stats import SystemStats
 from repro.sim.syncif import SyncVar
+from repro.sim.topo.faults import FaultPlan
 from repro.telemetry import get_telemetry
 
 
@@ -91,6 +92,12 @@ class NDPSystem:
             config.num_units, config.unit_memory_bytes, config.cache_line_bytes
         )
         self.interconnect = Interconnect(config, self.stats)
+        # The failure schedule is fixed before the first cycle; arming turns
+        # it into simulator timers that hit the interconnect mid-run.  The
+        # default (empty) plan costs nothing and arms nothing.
+        self.fault_plan = FaultPlan.from_config(config, self.interconnect.topology)
+        if self.fault_plan.events:
+            self.fault_plan.arm(self.sim, self.interconnect)
         self.drams = [
             DramDevice(config.memory, self.stats, unit_id=u)
             for u in range(config.num_units)
@@ -197,4 +204,8 @@ class NDPSystem:
                 f"deadlock: cores {unfinished[:8]} never finished "
                 f"(t={self.sim.now}, mechanism={self.mechanism_name})"
             )
+        if self.fault_plan.events:
+            # Permanent faults never see a repair; charge their downtime up
+            # to the last simulated instant so failed_link_cycles is total.
+            self.interconnect.finalize_faults(self.sim.now)
         return max(self.cores[cid].finish_time for cid in programs)

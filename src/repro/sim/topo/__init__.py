@@ -1,8 +1,11 @@
 """Pluggable interconnect topologies for the inter-unit fabric.
 
-See :mod:`repro.sim.topo.base` for the interface and
+See :mod:`repro.sim.topo.base` for the interface,
 :mod:`repro.sim.topo.regular` for the concrete fabrics
-(``all_to_all`` / ``ring`` / ``mesh2d`` / ``torus2d``).
+(``all_to_all`` / ``ring`` / ``mesh2d`` / ``torus2d``),
+:mod:`repro.sim.topo.faults` for link/unit fault plans, and
+:mod:`repro.sim.topo.policies` for the routing policies that pick routes
+over a (possibly degraded) fabric.
 """
 
 from repro.sim.topo.base import (
@@ -12,17 +15,41 @@ from repro.sim.topo.base import (
     build_topology,
     mesh_shape,
 )
+from repro.sim.topo.faults import (
+    FabricPartitionedError,
+    FaultEvent,
+    FaultPlan,
+    parse_fault_spec,
+    parse_link_profile,
+    unreachable_pairs,
+)
+from repro.sim.topo.policies import (
+    POLICIES,
+    RoutingPolicy,
+    build_policy,
+    route_intact,
+)
 from repro.sim.topo.regular import TOPOLOGIES, AllToAll, Mesh2D, Ring, Torus2D
 
 __all__ = [
     "AllToAll",
     "Channel",
+    "FabricPartitionedError",
+    "FaultEvent",
+    "FaultPlan",
     "Mesh2D",
+    "POLICIES",
     "Ring",
     "Route",
+    "RoutingPolicy",
     "TOPOLOGIES",
     "Topology",
     "Torus2D",
+    "build_policy",
     "build_topology",
     "mesh_shape",
+    "parse_fault_spec",
+    "parse_link_profile",
+    "route_intact",
+    "unreachable_pairs",
 ]

@@ -1,0 +1,346 @@
+"""Deterministic link/unit fault plans for the inter-unit fabric.
+
+A :class:`FaultPlan` is the full failure schedule of one run, fixed before
+the first simulated cycle: explicit faults listed in the config
+(``fault_links`` / ``fault_units``) plus rate-derived faults drawn from a
+seeded RNG over the fabric's channel set.  :meth:`FaultPlan.arm` turns the
+schedule into :class:`~repro.sim.engine.Simulator` timers that call into
+the :class:`~repro.sim.network.Interconnect` mid-run; the interconnect
+invalidates its memoized routes and recomputes over the surviving channels.
+
+Fault semantics:
+
+- A **link fault** kills one directed physical channel.
+- A **unit fault** kills a unit's *router*: the unit forwards no transit
+  traffic, but stays a valid endpoint — its cores and memory still operate.
+- ``down_cycles == 0`` means permanent; otherwise the fault is transient
+  and repairs itself after that many cycles.
+
+Determinism and partitions:
+
+- The rate-derived schedule depends only on ``fault_seed`` + the fabric, so
+  the same config always produces the same plan (cache keys stay sound).
+- Rate-derived faults are *connectivity-guarded*: any drawn fault that
+  would disconnect a live unit pair at its scheduled time is dropped (kept
+  in :attr:`FaultPlan.skipped` for reporting), so a severity sweep degrades
+  the fabric without ever cutting it apart.
+- *Explicit* faults are obeyed verbatim; if they partition the fabric the
+  run fails loudly with :class:`FabricPartitionedError` at injection time —
+  it never hangs.
+"""
+
+from __future__ import annotations
+
+import random
+import re
+from dataclasses import dataclass
+from typing import AbstractSet, Dict, List, Optional, Set, Tuple, TYPE_CHECKING
+
+from repro.sim.topo.base import Channel, Topology
+
+if TYPE_CHECKING:  # the interconnect imports this module, not vice versa
+    from repro.sim.config import SystemConfig
+
+
+class FabricPartitionedError(RuntimeError):
+    """A fault disconnected live units; the run fails instead of hanging."""
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled failure: what breaks, when, and for how long."""
+
+    kind: str  # "link" | "unit"
+    target: object  # Channel for links, unit id for units
+    at: int
+    down: int = 0  # 0 = permanent
+    source: str = "explicit"  # "explicit" | "random"
+
+    @property
+    def permanent(self) -> bool:
+        return self.down == 0
+
+
+def unreachable_pairs(
+    topology: Topology,
+    dead_channels: AbstractSet[Channel],
+    dead_units: AbstractSet[int],
+) -> List[Tuple[int, int]]:
+    """Ordered unit pairs with no surviving route (empty = connected).
+
+    Uses the same transit rule as :meth:`Topology.fallback_route`: dead
+    units forward nothing but remain valid endpoints.
+    """
+    adjacency = topology.adjacency()
+    n = topology.num_nodes
+    gaps: List[Tuple[int, int]] = []
+    for src in range(n):
+        reached = {src}
+        frontier = [src]
+        while frontier:
+            next_frontier = []
+            for node in frontier:
+                if node != src and node in dead_units:
+                    continue
+                for nbr in adjacency[node]:
+                    if nbr in reached or (node, nbr) in dead_channels:
+                        continue
+                    reached.add(nbr)
+                    next_frontier.append(nbr)
+            frontier = next_frontier
+        gaps.extend((src, dst) for dst in range(n) if dst not in reached)
+    return gaps
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """The complete, ordered failure schedule of one run."""
+
+    events: Tuple[FaultEvent, ...] = ()
+    #: rate-derived events dropped by the connectivity guard.
+    skipped: Tuple[FaultEvent, ...] = ()
+
+    def __bool__(self) -> bool:
+        return bool(self.events)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_config(cls, config: "SystemConfig", topology: Topology) -> "FaultPlan":
+        """Build the plan a config describes (deterministic).
+
+        Cheap by construction for the default config: when no fault field
+        is set this returns the empty plan without forcing the topology's
+        full routing table.
+        """
+        if not (config.fault_links or config.fault_units
+                or config.fault_link_rate or config.fault_transient_rate):
+            return cls()
+
+        explicit = [
+            FaultEvent("link", (src, dst), at, down)
+            for src, dst, at, down in config.fault_links
+        ]
+        explicit += [
+            FaultEvent("unit", unit, at, down)
+            for unit, at, down in config.fault_units
+        ]
+        channels = topology.channels()
+        channel_set = set(channels)
+        for event in explicit:
+            if event.kind == "link" and event.target not in channel_set:
+                raise ValueError(
+                    f"fault_links channel {event.target} does not exist in "
+                    f"the {topology.name!r} fabric"
+                )
+
+        randoms: List[FaultEvent] = []
+        if config.fault_link_rate or config.fault_transient_rate:
+            rng = random.Random(f"faultplan:{config.fault_seed}")
+            n_perm = int(round(config.fault_link_rate * len(channels)))
+            n_trans = int(round(config.fault_transient_rate * len(channels)))
+            picks = rng.sample(channels, min(n_perm + n_trans, len(channels)))
+            window = config.fault_window_cycles
+            for channel in picks[:n_perm]:
+                randoms.append(FaultEvent(
+                    "link", channel, rng.randrange(window), 0, "random"))
+            for channel in picks[n_perm:n_perm + n_trans]:
+                randoms.append(FaultEvent(
+                    "link", channel, rng.randrange(window),
+                    config.fault_repair_cycles, "random"))
+
+        kept, skipped = _guard_connectivity(topology, explicit, randoms)
+        return cls(events=tuple(kept), skipped=tuple(skipped))
+
+    # ------------------------------------------------------------------
+    def arm(self, sim, interconnect) -> None:
+        """Schedule every event (and its repair) as simulator timers.
+
+        The callbacks receive the event's own timestamp, so the
+        interconnect's downtime accounting never reads the clock.  Timers
+        are issued in the exact order the connectivity guard replayed —
+        repairs before failures at the same instant — so a guarded plan
+        can never trip the interconnect's runtime partition check.
+        """
+        timeline: List[Tuple[int, int, int, str, FaultEvent]] = []
+        for seq, event in enumerate(self.events):
+            timeline.append((event.at, 1, seq, "fail", event))
+            if event.down:
+                timeline.append((event.at + event.down, 0, seq, "repair", event))
+        timeline.sort(key=lambda item: item[:3])
+        for at, _phase, _seq, action, event in timeline:
+            if event.kind == "link":
+                fn = (interconnect.fail_link if action == "fail"
+                      else interconnect.repair_link)
+            else:
+                fn = (interconnect.fail_unit if action == "fail"
+                      else interconnect.repair_unit)
+            sim.schedule_at(at, fn, event.target, at)
+
+
+def _guard_connectivity(
+    topology: Topology,
+    explicit: List[FaultEvent],
+    randoms: List[FaultEvent],
+) -> Tuple[List[FaultEvent], List[FaultEvent]]:
+    """Drop rate-derived events that would partition at their fire time.
+
+    Replays the combined fail/repair timeline chronologically (repairs
+    before failures at the same instant, then schedule order) and checks
+    connectivity after each tentative random failure.  Explicit events are
+    applied unconditionally — they are the user's stated scenario, and the
+    interconnect raises :class:`FabricPartitionedError` at injection if
+    they cut the fabric.
+    """
+    ordered = sorted(
+        enumerate(explicit + randoms), key=lambda item: (item[1].at, item[0])
+    )
+    timeline: List[Tuple[int, int, int, str, FaultEvent]] = []
+    for seq, event in ordered:
+        timeline.append((event.at, 1, seq, "fail", event))
+        if event.down:
+            timeline.append((event.at + event.down, 0, seq, "repair", event))
+    timeline.sort(key=lambda item: item[:3])
+
+    dead_channels: Set[Channel] = set()
+    dead_units: Set[int] = set()
+    dropped: Set[int] = set()
+    skipped: List[FaultEvent] = []
+    for _at, _phase, seq, action, event in timeline:
+        if seq in dropped:
+            continue
+        targets = dead_channels if event.kind == "link" else dead_units
+        if action == "repair":
+            targets.discard(event.target)
+            continue
+        targets.add(event.target)
+        if event.source == "random" and unreachable_pairs(
+                topology, dead_channels, dead_units):
+            targets.discard(event.target)
+            dropped.add(seq)
+            skipped.append(event)
+    kept = [
+        event for seq, event in ordered
+        if seq not in dropped
+    ]
+    return kept, skipped
+
+
+# ----------------------------------------------------------------------
+# CLI spec grammars (``repro run --faults`` / ``--link-profile``)
+# ----------------------------------------------------------------------
+_LINK_FAULT_RE = re.compile(
+    r"^(\d+)\s*([>-])\s*(\d+)\s*@\s*(\d+)(?:\s*\+\s*(\d+))?$"
+)
+_UNIT_FAULT_RE = re.compile(r"^unit\s*:\s*(\d+)\s*@\s*(\d+)(?:\s*\+\s*(\d+))?$")
+_PROFILE_RE = re.compile(
+    r"^(\d+)\s*([>-])\s*(\d+)\s*=\s*([0-9.]*)(?::\s*([0-9.]+))?$"
+)
+
+
+def parse_fault_spec(text: str) -> Dict[str, object]:
+    """``--faults`` grammar -> SystemConfig override fields.
+
+    Comma-separated clauses::
+
+        0>1@100        directed channel (0, 1) fails permanently at cycle 100
+        0-1@100        both directions fail
+        0>1@100+500    transient: down for 500 cycles
+        unit:2@50      unit 2 stops forwarding at cycle 50 (+D = transient)
+        rate=0.1       fraction of channels failed permanently (seed-derived)
+        transient=0.05 fraction of channels flapping once (seed-derived)
+        seed=7         fault_seed for the rate-derived draws
+        window=20000   rate-derived fault times drawn from [0, window)
+        repair=4000    downtime of rate-derived transient faults
+
+    Returns only the fields the spec mentions, ready for
+    ``SystemConfig.with_`` or a sweep's ``base_overrides``.
+    """
+    links: List[Tuple[int, int, int, int]] = []
+    units: List[Tuple[int, int, int]] = []
+    overrides: Dict[str, object] = {}
+    scalar_fields = {
+        "rate": ("fault_link_rate", float),
+        "transient": ("fault_transient_rate", float),
+        "seed": ("fault_seed", int),
+        "window": ("fault_window_cycles", int),
+        "repair": ("fault_repair_cycles", int),
+    }
+    for raw in text.split(","):
+        clause = raw.strip()
+        if not clause:
+            continue
+        key, eq, value = clause.partition("=")
+        if eq and key.strip() in scalar_fields:
+            name, cast = scalar_fields[key.strip()]
+            try:
+                overrides[name] = cast(value.strip())
+            except ValueError:
+                raise ValueError(
+                    f"bad --faults value in {clause!r}: expected a "
+                    f"{cast.__name__}"
+                )
+            continue
+        match = _UNIT_FAULT_RE.match(clause)
+        if match:
+            unit, at, down = match.groups()
+            units.append((int(unit), int(at), int(down or 0)))
+            continue
+        match = _LINK_FAULT_RE.match(clause)
+        if match:
+            src, direction, dst, at, down = match.groups()
+            entry = (int(src), int(dst), int(at), int(down or 0))
+            links.append(entry)
+            if direction == "-":
+                links.append((entry[1], entry[0], entry[2], entry[3]))
+            continue
+        raise ValueError(
+            f"bad --faults clause {clause!r}; expected SRC>DST@AT[+DOWN], "
+            "SRC-DST@AT[+DOWN], unit:U@AT[+DOWN], or "
+            f"{'/'.join(sorted(scalar_fields))}=VALUE"
+        )
+    if links:
+        overrides["fault_links"] = tuple(links)
+    if units:
+        overrides["fault_units"] = tuple(units)
+    if not overrides:
+        raise ValueError("--faults spec is empty")
+    return overrides
+
+
+def parse_link_profile(text: str) -> Tuple:
+    """``--link-profile`` grammar -> the ``link_profile`` config tuple.
+
+    Comma-separated clauses, ``BANDWIDTH[:LATENCY]`` per channel::
+
+        0-1=6.4:80     both directions of (0, 1): 6.4 GB/s, 80 ns
+        2>3=12.8       directed (2, 3): 12.8 GB/s, global latency
+        1>0=:100       directed (1, 0): global bandwidth, 100 ns
+    """
+    entries: List[Tuple[int, int, Optional[float], Optional[float]]] = []
+    for raw in text.split(","):
+        clause = raw.strip()
+        if not clause:
+            continue
+        match = _PROFILE_RE.match(clause)
+        if not match:
+            raise ValueError(
+                f"bad --link-profile clause {clause!r}; expected "
+                "SRC>DST=BANDWIDTH[:LATENCY] or SRC-DST=BANDWIDTH[:LATENCY]"
+            )
+        src, direction, dst, gbps, lat = match.groups()
+        if not gbps and lat is None:
+            raise ValueError(
+                f"--link-profile clause {clause!r} overrides nothing"
+            )
+        entry = (
+            int(src),
+            int(dst),
+            float(gbps) if gbps else None,
+            float(lat) if lat is not None else None,
+        )
+        entries.append(entry)
+        if direction == "-":
+            entries.append((entry[1], entry[0], entry[2], entry[3]))
+    if not entries:
+        raise ValueError("--link-profile spec is empty")
+    return tuple(entries)

@@ -1,0 +1,139 @@
+"""Routing policies: how the interconnect picks routes over the fabric.
+
+:meth:`Topology.route` is the *pristine* dimension-order table — the right
+answer for a healthy, uniform fabric, and the one the hot path memoizes.
+A :class:`RoutingPolicy` generalizes it: given the live fabric state (dead
+channels/units, per-channel link parameters, link queues) it produces the
+candidate route(s) for an ordered unit pair.
+
+- :class:`StaticPolicy` — the pristine route; a BFS shortest path over the
+  survivors only when a fault severed it.  Zero-fault behaviour is
+  bit-identical to calling ``Topology.route`` directly.
+- :class:`DegradedShortestPathPolicy` — least-cost route by per-channel
+  cost (propagation latency + one line's serialization), so heterogeneous
+  profiles steer traffic around slow links even with nothing failed.
+- :class:`LoadAwarePolicy` — all minimal-hop routes over the survivors;
+  the interconnect picks per transfer by live :class:`Link` queue depth.
+
+Policies see the fabric through a narrow duck-typed surface
+(``dead_channels``, ``dead_units``, ``link_cost(channel)``) so this module
+never imports :mod:`repro.sim.network`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple, Type
+
+from repro.sim.topo.base import Route, Topology
+from repro.sim.topo.faults import FabricPartitionedError
+
+
+def route_intact(route: Route, dead_channels, dead_units) -> bool:
+    """True if no channel on ``route`` is dead and no *intermediate* node
+    is a dead unit (endpoints stay valid; see :mod:`repro.sim.topo.faults`)."""
+    for channel in route:
+        if channel in dead_channels:
+            return False
+    for channel in route[1:]:
+        if channel[0] in dead_units:
+            return False
+    return True
+
+
+class RoutingPolicy:
+    """Base: candidate routes for an ordered pair over the live fabric."""
+
+    #: registry name; subclasses override.
+    name = "policy"
+    #: multipath policies return several candidates and expect a
+    #: per-transfer choice; single-path policies return exactly one.
+    multipath = False
+
+    def __init__(self, topology: Topology, fabric) -> None:
+        self.topology = topology
+        self.fabric = fabric
+
+    def candidates(self, src: int, dst: int) -> Tuple[Route, ...]:
+        """Non-empty candidate routes, or raise :class:`FabricPartitionedError`."""
+        raise NotImplementedError
+
+    def _unreachable(self, src: int, dst: int) -> FabricPartitionedError:
+        return FabricPartitionedError(
+            f"no surviving route {src} -> {dst} on the "
+            f"{self.topology.name!r} fabric "
+            f"({len(self.fabric.dead_channels)} dead channels, "
+            f"{len(self.fabric.dead_units)} dead units)"
+        )
+
+
+class StaticPolicy(RoutingPolicy):
+    """Pristine table routes; BFS over the survivors only when severed."""
+
+    name = "static"
+
+    def candidates(self, src: int, dst: int) -> Tuple[Route, ...]:
+        pristine = self.topology.route(src, dst)
+        dead_channels = self.fabric.dead_channels
+        dead_units = self.fabric.dead_units
+        if route_intact(pristine, dead_channels, dead_units):
+            return (pristine,)
+        fallback = self.topology.fallback_route(
+            src, dst, dead_channels, dead_units)
+        if fallback is None:
+            raise self._unreachable(src, dst)
+        return (fallback,)
+
+
+class DegradedShortestPathPolicy(RoutingPolicy):
+    """Least-cost surviving route by per-channel cost.
+
+    The cost of a channel is its propagation latency plus one cache line's
+    serialization at its bandwidth (``Interconnect.link_cost``), so a
+    heterogeneous :attr:`~repro.sim.config.SystemConfig.link_profile`
+    reshapes routes even on a fault-free fabric.
+    """
+
+    name = "degraded"
+
+    def candidates(self, src: int, dst: int) -> Tuple[Route, ...]:
+        route = self.topology.weighted_route(
+            src, dst, self.fabric.link_cost,
+            self.fabric.dead_channels, self.fabric.dead_units)
+        if route is None:
+            raise self._unreachable(src, dst)
+        return (route,)
+
+
+class LoadAwarePolicy(RoutingPolicy):
+    """All minimal-hop surviving routes; chosen per transfer by queue depth."""
+
+    name = "load_aware"
+    multipath = True
+    #: cap on enumerated alternatives per pair (the mesh's shortest-path
+    #: DAGs grow combinatorially with distance).
+    max_candidates = 8
+
+    def candidates(self, src: int, dst: int) -> Tuple[Route, ...]:
+        routes = self.topology.minimal_routes(
+            src, dst, self.fabric.dead_channels, self.fabric.dead_units,
+            limit=self.max_candidates)
+        if not routes:
+            raise self._unreachable(src, dst)
+        return routes
+
+
+POLICIES: Dict[str, Type[RoutingPolicy]] = {
+    cls.name: cls
+    for cls in (StaticPolicy, DegradedShortestPathPolicy, LoadAwarePolicy)
+}
+
+
+def build_policy(name: str, topology: Topology, fabric) -> RoutingPolicy:
+    """Instantiate the policy a config names."""
+    try:
+        cls = POLICIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown routing policy {name!r}; choose from {sorted(POLICIES)}"
+        )
+    return cls(topology, fabric)

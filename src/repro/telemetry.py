@@ -38,6 +38,15 @@ Exports:
   spans / histograms), written on session exit and on demand.
 - :meth:`Telemetry.prometheus` — the same snapshot in Prometheus text
   exposition format, for scraping once the daemon front end lands.
+
+Degraded-fabric instrumentation lives under the ``fabric.*`` namespace
+(:mod:`repro.sim.network`): ``fabric.fault`` / ``fabric.repair`` events
+(plus a ``fabric.fault`` span around fail+reconnectivity-check),
+``fabric.resolve`` spans around each policy route resolution,
+``fabric.reroute`` events carrying ``src``/``dst``/``pristine_hops``/
+``detour_hops``, and the ``fabric.reroutes`` / ``fabric.faults``
+counters.  Like everything else on the bus these only fire when a
+session is active — fault injection itself is telemetry-independent.
 """
 
 from __future__ import annotations

@@ -10,6 +10,7 @@ cases, the config threading (validate / round-trip / cache keys), the
 """
 
 import math
+import warnings
 
 import pytest
 
@@ -49,7 +50,14 @@ class TestMeshShape:
         assert mesh_shape(16) == (4, 4)
         assert mesh_shape(12) == (3, 4)
         assert mesh_shape(2) == (1, 2)
-        assert mesh_shape(7) == (1, 7)  # primes degrade to a line
+
+    def test_prime_unit_counts_warn_and_degrade_to_a_line(self):
+        with pytest.warns(RuntimeWarning, match="prime"):
+            assert mesh_shape(7) == (1, 7)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # composites stay silent
+            assert mesh_shape(12) == (3, 4)
+            assert mesh_shape(2) == (1, 2)  # trivially a line, no surprise
 
     def test_explicit_rows(self):
         assert mesh_shape(12, rows=2) == (2, 6)
@@ -118,6 +126,15 @@ class TestRouting:
         with pytest.raises(ValueError):
             topo.route(-1, 0)
 
+    def test_route_bounds_checked_even_when_the_table_is_warm(self):
+        # out-of-range pairs are never cached, so the check fires on every
+        # call — including after routing_table() populated all valid pairs.
+        topo = Ring(4)
+        topo.routing_table()
+        for src, dst in ((0, 4), (4, 0), (-1, 2), (2, -1)):
+            with pytest.raises(ValueError):
+                topo.route(src, dst)
+
     def test_mean_hops_orders_the_fabrics(self):
         n = 16
         a2a, ring = AllToAll(n), Ring(n)
@@ -158,6 +175,16 @@ class TestConfigThreading:
         cfg = ndp_2_5d(topology="torus2d", topo_rows=2, num_units=8)
         again = SystemConfig.from_dict(cfg.as_dict())
         assert again == cfg
+
+    def test_topo_rows_is_normalized_away_on_non_grid_fabrics(self):
+        # rows mean nothing to a ring; the two configs describe the same
+        # machine and must share a hash (and therefore a cache entry).
+        assert (ndp_2_5d(topology="ring", topo_rows=4).stable_hash()
+                == ndp_2_5d(topology="ring").stable_hash())
+        # on a grid they change the shape, so they must split the hash.
+        assert (ndp_2_5d(num_units=12, topology="mesh2d",
+                         topo_rows=2).stable_hash()
+                != ndp_2_5d(num_units=12, topology="mesh2d").stable_hash())
 
     def test_stable_hash_and_cache_key_cover_topology(self):
         assert (ndp_2_5d(topology="ring").stable_hash()
@@ -257,6 +284,19 @@ class TestLinkEdgeCases:
         serialization = int(math.ceil(6400 / cfg.link_bytes_per_cycle))
         assert link.reserve(0, 6400) == serialization + cfg.link_latency_cycles
         assert link.reserve(0, 6400) == 2 * serialization + cfg.link_latency_cycles
+
+    def test_idle_gap_earns_no_transfer_credit(self):
+        # occupancy never runs backwards: after a long idle gap the next
+        # packet pays exactly one serialization + latency, and back-to-back
+        # packets at that same instant queue behind it — the stale
+        # _next_free must not hand out negative waiting time.
+        cfg = ndp_2_5d()
+        link = Link(cfg, SystemStats())
+        serialization = int(math.ceil(64 / cfg.link_bytes_per_cycle))
+        exact = serialization + cfg.link_latency_cycles
+        assert link.reserve(0, 64) == exact
+        assert link.reserve(10_000, 64) == exact
+        assert link.reserve(10_000, 64) == serialization + exact
 
     def test_reserve_is_timing_only(self):
         stats = SystemStats()
