@@ -1,0 +1,170 @@
+"""Lint infrastructure: findings, the rule protocol, and the registry.
+
+A :class:`Rule` inspects one parsed module at a time and yields
+:class:`Finding` objects.  Rules are registered in :data:`RULES` by id
+(``RP001``...) so the engine and the CLI can select subsets with
+``--rule``.
+
+Suppression layers (checked by the engine, not by rules):
+
+- inline: a ``# repro: noqa RP001`` comment on the finding's line
+  (bare ``# repro: noqa`` suppresses every rule on that line);
+- baseline: an entry in the committed ``baseline.json`` matching the
+  finding's :meth:`Finding.fingerprint` — for pre-existing findings that
+  are understood and justified but not worth churning code over.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str          # repo-relative posix path, e.g. "src/repro/sim/trace.py"
+    line: int
+    message: str
+    #: the offending source line, stripped — the stable part of the
+    #: fingerprint, so baselines survive unrelated edits above the line.
+    snippet: str = ""
+
+    def fingerprint(self) -> Tuple[str, str, str]:
+        """Line-number-free identity used for baseline matching."""
+        return (self.rule, self.path, self.snippet)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+            "snippet": self.snippet,
+        }
+
+
+class Module:
+    """One parsed source file handed to every selected rule.
+
+    Carries the AST, the raw source lines (for snippets / noqa scanning)
+    and the dotted module name (rules scope themselves by module).
+    """
+
+    def __init__(self, path: str, module_name: str, source: str):
+        self.path = path
+        self.module_name = module_name
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = ast.parse(source, filename=path)
+
+    def line_text(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1].strip()
+        return ""
+
+    def in_module(self, *prefixes: str) -> bool:
+        """True when this module is one of ``prefixes`` or inside one."""
+        name = self.module_name
+        return any(
+            name == prefix or name.startswith(prefix + ".")
+            for prefix in prefixes
+        )
+
+
+class Rule:
+    """Base class: subclasses set ``id``/``title`` and implement check()."""
+
+    id = "RP000"
+    title = "unnamed rule"
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, module: Module, node: ast.AST, message: str) -> Finding:
+        lineno = getattr(node, "lineno", 1)
+        return Finding(
+            rule=self.id,
+            path=module.path,
+            line=lineno,
+            message=message,
+            snippet=module.line_text(lineno),
+        )
+
+
+#: rule id -> rule instance; populated by :func:`register`.
+RULES: Dict[str, Rule] = {}
+
+
+def register(rule_cls):
+    """Class decorator adding a rule to the registry."""
+    rule = rule_cls()
+    if rule.id in RULES:
+        raise ValueError(f"duplicate rule id {rule.id}")
+    RULES[rule.id] = rule
+    return rule_cls
+
+
+# ----------------------------------------------------------------------
+# Inline suppressions
+# ----------------------------------------------------------------------
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa(?P<rules>(?:\s+RP\d{3}(?:\s*,\s*RP\d{3})*)?)",
+)
+
+
+def noqa_map(source_lines: List[str]) -> Dict[int, Optional[frozenset]]:
+    """Line number -> suppressed rule ids (``None`` = every rule).
+
+    Lines without a ``# repro: noqa`` marker are absent from the map.
+    """
+    suppressions: Dict[int, Optional[frozenset]] = {}
+    for lineno, text in enumerate(source_lines, start=1):
+        match = _NOQA_RE.search(text)
+        if match is None:
+            continue
+        listed = match.group("rules").replace(",", " ").split()
+        suppressions[lineno] = frozenset(listed) if listed else None
+    return suppressions
+
+
+def suppressed(finding: Finding,
+               suppressions: Dict[int, Optional[frozenset]]) -> bool:
+    rules = suppressions.get(finding.line, "absent")
+    if rules == "absent":
+        return False
+    return rules is None or finding.rule in rules
+
+
+# ----------------------------------------------------------------------
+# Small AST helpers shared by rules
+# ----------------------------------------------------------------------
+def call_name(node: ast.Call) -> str:
+    """Dotted name of a call target: ``time.time`` / ``hash`` / ``x.union``."""
+    return dotted_name(node.func)
+
+
+def dotted_name(node: ast.AST) -> str:
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    if parts:
+        # complex base (call result, subscript): keep the attribute tail
+        # so rules can still match method names like ``.union``.
+        return "?." + ".".join(reversed(parts))
+    return ""
+
+
+def walk_functions(tree: ast.Module) -> Iterable[ast.AST]:
+    """Every function/method body scope in the module, outermost first."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            yield node

@@ -1,0 +1,203 @@
+"""The lint engine: walk source files, run rules, apply suppressions.
+
+Layering of a finding's fate (first match wins):
+
+1. ``# repro: noqa [RULE]`` on the offending line — suppressed inline;
+2. a matching fingerprint in ``baseline.json`` — grandfathered (reported
+   separately, never fails the gate);
+3. otherwise it is a *new* finding and ``repro lint`` exits non-zero.
+
+The baseline keys findings by :meth:`Finding.fingerprint` — (rule, path,
+stripped source line) — so entries survive unrelated edits that shift line
+numbers, and go stale (flagged by ``--update-baseline``) when the
+offending line itself changes.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.analysis import rules as _rules  # noqa: F401  (registers RULES)
+from repro.analysis.base import Finding, Module, RULES, noqa_map, suppressed
+
+#: baseline schema version (bump on incompatible format changes).
+BASELINE_VERSION = 1
+
+
+def default_source_root() -> Path:
+    """The directory containing the ``repro`` package (i.e. ``src/``)."""
+    import repro
+
+    return Path(repro.__file__).resolve().parent.parent
+
+
+def default_baseline_path() -> Path:
+    return Path(__file__).resolve().parent / "baseline.json"
+
+
+@dataclass
+class LintReport:
+    """Outcome of one lint run, split by suppression layer."""
+
+    findings: List[Finding] = field(default_factory=list)   # new — gate fails
+    baselined: List[Finding] = field(default_factory=list)  # grandfathered
+    suppressed_count: int = 0                               # inline noqa
+    checked_files: int = 0
+    rules: Tuple[str, ...] = ()
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "clean": self.clean,
+            "checked_files": self.checked_files,
+            "rules": list(self.rules),
+            "suppressed": self.suppressed_count,
+            "findings": [f.as_dict() for f in self.findings],
+            "baselined": [f.as_dict() for f in self.baselined],
+        }
+
+
+class LintError(RuntimeError):
+    """A source file could not be parsed (lint requires a parsable tree)."""
+
+
+def _iter_source_files(root: Path) -> Iterable[Path]:
+    for path in sorted(root.rglob("*.py")):
+        yield path
+
+
+def _module_name(path: Path, source_root: Path) -> str:
+    rel = path.resolve().relative_to(source_root)
+    parts = list(rel.with_suffix("").parts)
+    if parts and parts[-1] == "__init__":
+        parts.pop()
+    return ".".join(parts)
+
+
+def _select_rules(rule_ids: Optional[Sequence[str]]):
+    if not rule_ids:
+        return [RULES[rid] for rid in sorted(RULES)]
+    selected = []
+    for rid in rule_ids:
+        rid = rid.upper()
+        if rid not in RULES:
+            known = ", ".join(sorted(RULES))
+            raise LintError(f"unknown rule {rid!r} (known: {known})")
+        selected.append(RULES[rid])
+    return selected
+
+
+def load_baseline(path: Path) -> Dict[Tuple[str, str, str], str]:
+    """fingerprint -> justification, from a committed baseline file."""
+    if not path.exists():
+        return {}
+    payload = json.loads(path.read_text())
+    entries = {}
+    for entry in payload.get("findings", []):
+        fp = (entry["rule"], entry["path"], entry["snippet"])
+        entries[fp] = entry.get("justification", "")
+    return entries
+
+
+def write_baseline(path: Path, findings: Sequence[Finding],
+                   justifications: Dict[Tuple[str, str, str], str]) -> None:
+    """Write the baseline for ``findings``, keeping known justifications."""
+    payload = {
+        "version": BASELINE_VERSION,
+        "comment": (
+            "Grandfathered lint findings. Every entry needs a written "
+            "justification; remove entries as the code is fixed."
+        ),
+        "findings": [
+            {
+                "rule": f.rule,
+                "path": f.path,
+                "snippet": f.snippet,
+                "justification": justifications.get(
+                    f.fingerprint(), "TODO: justify"),
+            }
+            for f in sorted(set(findings),
+                            key=lambda f: (f.rule, f.path, f.snippet))
+        ],
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=False) + "\n")
+
+
+def lint_paths(paths: Sequence[Path], source_root: Path,
+               rule_ids: Optional[Sequence[str]] = None,
+               baseline: Optional[Dict[Tuple[str, str, str], str]] = None,
+               ) -> LintReport:
+    """Lint explicit files; paths are reported relative to ``source_root``."""
+    selected = _select_rules(rule_ids)
+    baseline = baseline or {}
+    report = LintReport(rules=tuple(rule.id for rule in selected))
+    for path in paths:
+        source = path.read_text()
+        rel = path.resolve().relative_to(source_root).as_posix()
+        try:
+            module = Module(rel, _module_name(path, source_root), source)
+        except SyntaxError as exc:
+            raise LintError(f"cannot parse {rel}: {exc}") from exc
+        report.checked_files += 1
+        suppressions = noqa_map(module.lines)
+        for rule in selected:
+            for finding in rule.check(module):
+                if suppressed(finding, suppressions):
+                    report.suppressed_count += 1
+                elif finding.fingerprint() in baseline:
+                    report.baselined.append(finding)
+                else:
+                    report.findings.append(finding)
+    report.findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    report.baselined.sort(key=lambda f: (f.path, f.line, f.rule))
+    return report
+
+
+def lint_package(rule_ids: Optional[Sequence[str]] = None,
+                 source_root: Optional[Path] = None,
+                 baseline_path: Optional[Path] = None) -> LintReport:
+    """Lint the whole installed ``repro`` package against the baseline."""
+    source_root = source_root or default_source_root()
+    baseline_path = baseline_path or default_baseline_path()
+    package_root = source_root / "repro"
+    paths = list(_iter_source_files(package_root))
+    return lint_paths(paths, source_root, rule_ids,
+                      baseline=load_baseline(baseline_path))
+
+
+# ----------------------------------------------------------------------
+# Rendering
+# ----------------------------------------------------------------------
+def render_table(report: LintReport) -> str:
+    from repro.harness.reporting import format_table
+
+    lines: List[str] = []
+    if report.findings:
+        rows = [
+            {"rule": f.rule, "location": f"{f.path}:{f.line}",
+             "message": f.message}
+            for f in report.findings
+        ]
+        lines.append(format_table(rows, ["rule", "location", "message"],
+                                  title="new lint findings"))
+    summary = (
+        f"{len(report.findings)} new finding(s), "
+        f"{len(report.baselined)} baselined, "
+        f"{report.suppressed_count} noqa-suppressed "
+        f"across {report.checked_files} file(s)"
+    )
+    lines.append(summary)
+    if report.clean:
+        lines.append("lint: clean")
+    return "\n".join(lines)
+
+
+def render_json(report: LintReport) -> str:
+    return json.dumps(report.as_dict(), indent=2)

@@ -177,6 +177,7 @@ def _runner_options(args) -> Dict:
         "lease_ttl": args.lease_ttl,
         "sampling": getattr(args, "sampling", None),
         "telemetry": getattr(args, "telemetry", None),
+        "sanitize": getattr(args, "sanitize", False),
     }
 
 
@@ -194,6 +195,22 @@ def _telemetry_scope(args):
     print(f"[telemetry] event log + snapshot written to {directory}/ "
           f"(render with `python -m repro report {directory}`)",
           file=sys.stderr)
+
+
+@contextlib.contextmanager
+def _sanitizer_scope(args):
+    """Activate the determinism sanitizer for a command when --sanitize.
+
+    Yields the active session (or None): the caller prints the hazard
+    report and turns hazards into a non-zero exit after the scope closes.
+    """
+    if not getattr(args, "sanitize", False):
+        yield None
+        return
+    from repro.analysis.sanitizer import sanitize_session
+
+    with sanitize_session() as session:
+        yield session
 
 
 def cmd_list(_args) -> int:
@@ -239,7 +256,8 @@ def cmd_run(args) -> int:
             return 2
         kwargs[flag] = value
     STATS.reset()
-    with _telemetry_scope(args), execution_options(**_runner_options(args)):
+    with _telemetry_scope(args), _sanitizer_scope(args) as sanitizer, \
+            execution_options(**_runner_options(args)):
         result = fn(**kwargs)
     _print_result(name, result)
     print(f"[runner] {STATS.summary()}", file=sys.stderr)
@@ -250,6 +268,10 @@ def cmd_run(args) -> int:
         else:
             print()
             print(chart)
+    if sanitizer is not None:
+        print(f"[sanitize] {sanitizer.report()}", file=sys.stderr)
+        if sanitizer.hazards:
+            return 1
     return 0
 
 
@@ -702,6 +724,41 @@ def cmd_report(args) -> int:
     return 0
 
 
+# ----------------------------------------------------------------------
+# lint: the simulator-invariant static-analysis gate
+# ----------------------------------------------------------------------
+def cmd_lint(args) -> int:
+    from pathlib import Path
+
+    from repro.analysis.engine import (
+        LintError,
+        default_baseline_path,
+        lint_package,
+        load_baseline,
+        render_json,
+        render_table,
+        write_baseline,
+    )
+
+    baseline_path = (Path(args.baseline) if args.baseline
+                     else default_baseline_path())
+    try:
+        report = lint_package(rule_ids=args.rule, baseline_path=baseline_path)
+    except LintError as exc:
+        print(f"lint: {exc}", file=sys.stderr)
+        return 2
+    if args.update_baseline:
+        keep = report.findings + report.baselined
+        write_baseline(baseline_path, keep, load_baseline(baseline_path))
+        print(f"baseline updated: {len(keep)} entry(ies) -> {baseline_path}")
+        return 0
+    print(render_json(report) if args.format == "json"
+          else render_table(report))
+    if args.output:
+        Path(args.output).write_text(render_json(report) + "\n")
+    return 0 if report.clean else 1
+
+
 def cmd_quickstart(_args) -> int:
     from repro import NDPSystem, api, ndp_2_5d
     from repro.sim import Compute
@@ -778,6 +835,11 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--link-profile", default=None, metavar="SPEC",
                      help="per-channel overrides like "
                           "'0>1=25.6:80,2-3=:200' (GB/s and/or ns)")
+    run.add_argument("--sanitize", action="store_true",
+                     help="runtime determinism sanitizer: record per-cycle "
+                          "access sets and flag same-cycle ordering hazards "
+                          "(debug mode: forces --no-cache and one worker; "
+                          "non-zero exit on hazards)")
     add_runner_flags(run)
 
     sweep = sub.add_parser(
@@ -914,6 +976,26 @@ def build_parser() -> argparse.ArgumentParser:
                         help="directory passed to --telemetry (holds "
                              "snapshot-*.json and events-*.jsonl)")
 
+    lint = sub.add_parser(
+        "lint",
+        help="static analysis: check the package against the simulator "
+             "invariants (RP001..RP006)",
+    )
+    lint.add_argument("--rule", action="append", metavar="RPNNN",
+                      help="check only this rule (repeatable; default all)")
+    lint.add_argument("--format", choices=("table", "json"), default="table",
+                      help="report format (default table)")
+    lint.add_argument("--update-baseline", action="store_true",
+                      help="rewrite baseline.json to grandfather every "
+                           "current finding (keeps existing justifications; "
+                           "new entries get a TODO)")
+    lint.add_argument("--baseline", default=None, metavar="PATH",
+                      help="baseline file (default: the committed "
+                           "src/repro/analysis/baseline.json)")
+    lint.add_argument("--output", default=None, metavar="PATH",
+                      help="additionally write the JSON report to PATH "
+                           "(CI artifact)")
+
     sub.add_parser("quickstart", help="run the README quickstart")
     return parser
 
@@ -924,7 +1006,7 @@ def main(argv: List[str] = None) -> int:
                "corun": cmd_corun, "cache": cmd_cache,
                "sample-check": cmd_sample_check,
                "top": cmd_top, "report": cmd_report,
-               "quickstart": cmd_quickstart}
+               "lint": cmd_lint, "quickstart": cmd_quickstart}
     return handler[args.command](args)
 
 

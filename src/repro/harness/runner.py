@@ -88,6 +88,12 @@ class ExecutionOptions:
     #: the :mod:`repro.telemetry` bus for the whole command and exports
     #: the event log + snapshot there.  None = telemetry off (default).
     telemetry: Optional[str] = None
+    #: run the determinism sanitizer (``--sanitize``): simulators record
+    #: per-cycle access sets and flag same-cycle ordering hazards.  Forces
+    #: the cache off (the debug run must actually execute) and the local
+    #: single-worker path (worker subprocesses would not share the
+    #: process-local sanitizer session).
+    sanitize: bool = False
 
     # Back-compat alias: PR-2 called worker processes "jobs".
     @property
@@ -108,7 +114,7 @@ _OPTIONS = ExecutionOptions()
 
 #: ExecutionOptions fields settable through the helpers below.
 _OPTION_FIELDS = ("workers", "cache", "cache_dir", "store", "worker_id",
-                  "lease_ttl", "sampling", "telemetry")
+                  "lease_ttl", "sampling", "telemetry", "sanitize")
 
 
 def set_execution_options(jobs: Optional[int] = None,
@@ -119,7 +125,8 @@ def set_execution_options(jobs: Optional[int] = None,
                           lease_ttl: Optional[float] = None,
                           workers: Optional[int] = None,
                           sampling: Optional[float] = None,
-                          telemetry: Optional[str] = None) -> None:
+                          telemetry: Optional[str] = None,
+                          sanitize: Optional[bool] = None) -> None:
     if workers is None:
         workers = jobs
     if workers is not None:
@@ -148,6 +155,8 @@ def set_execution_options(jobs: Optional[int] = None,
             _OPTIONS.sampling = float(sampling)
     if telemetry is not None:
         _OPTIONS.telemetry = telemetry or None
+    if sanitize is not None:
+        _OPTIONS.sanitize = sanitize
 
 
 def get_execution_options() -> ExecutionOptions:
@@ -162,14 +171,16 @@ def execution_options(jobs: Optional[int] = None, cache: Optional[bool] = None,
                       lease_ttl: Optional[float] = None,
                       workers: Optional[int] = None,
                       sampling: Optional[float] = None,
-                      telemetry: Optional[str] = None):
+                      telemetry: Optional[str] = None,
+                      sanitize: Optional[bool] = None):
     """Temporarily override the active execution policy."""
     previous = replace(_OPTIONS)
     try:
         set_execution_options(jobs=jobs, cache=cache, cache_dir=cache_dir,
                               store=store, worker_id=worker_id,
                               lease_ttl=lease_ttl, workers=workers,
-                              sampling=sampling, telemetry=telemetry)
+                              sampling=sampling, telemetry=telemetry,
+                              sanitize=sanitize)
         yield _OPTIONS
     finally:
         for name in _OPTION_FIELDS:
@@ -443,6 +454,13 @@ def run_specs(specs: Sequence[RunSpec], jobs: Optional[int] = None,
         # Sampled runs are approximations: never let them into the durable
         # store, and keep execution in this process (worker subprocesses
         # would re-import the module and lose the sampling option).
+        use_cache = False
+        workers = 1
+        worker_id = None
+    if options.sanitize:
+        # Sanitized runs are debug runs: they must actually execute (a
+        # cache hit would observe nothing) and the process-local sanitizer
+        # session is invisible to worker subprocesses.
         use_cache = False
         workers = 1
         worker_id = None

@@ -49,7 +49,10 @@ from repro.workloads.unionfind import UnionFindWorkload
 #: analytically-charged elided polls, changing their reference numbers.
 #: v3: RunMetrics.stats gained the degraded-fabric counters (reroutes /
 #: failed_link_cycles / detour_bit_hops), changing the cached schema.
-CACHE_FORMAT_VERSION = 3
+#: v4: the Barabási-Albert generator now inserts each new vertex's edges
+#: in sorted target order (RP002 determinism fix) — every generated graph,
+#: and hence every graph-workload result, changed.
+CACHE_FORMAT_VERSION = 4
 
 #: CLI-friendly aliases for SystemConfig override fields.
 CONFIG_ALIASES = {

@@ -269,15 +269,14 @@ class SystemConfig:
         # deliver lists where the canonical form is tuples, and rows set on
         # a non-grid fabric describe the same machine as rows unset; both
         # must serialize identically or cache keys split on phantom state.
-        if self.link_profile:
-            object.__setattr__(self, "link_profile",
-                               _norm_link_profile(self.link_profile))
-        if self.fault_links:
-            object.__setattr__(self, "fault_links",
-                               _norm_fault_links(self.fault_links))
-        if self.fault_units:
-            object.__setattr__(self, "fault_units",
-                               _norm_fault_units(self.fault_units))
+        # Unconditional: an empty list from JSON must become () too, or
+        # the restored config compares unequal to the one that was cached.
+        object.__setattr__(self, "link_profile",
+                           _norm_link_profile(self.link_profile))
+        object.__setattr__(self, "fault_links",
+                           _norm_fault_links(self.fault_links))
+        object.__setattr__(self, "fault_units",
+                           _norm_fault_units(self.fault_units))
         if self.topo_rows > 0:
             # negative rows stay as-is for validate() to reject.
             from repro.sim.topo.regular import TOPOLOGIES
@@ -385,6 +384,50 @@ class SystemConfig:
             raise ValueError("async issue cost must be at least one cycle")
         if self.l1_size_bytes % (self.l1_ways * self.cache_line_bytes):
             raise ValueError("L1 size must be a multiple of ways*line")
+        self._validate_timing_and_seeds()
+
+    def _validate_timing_and_seeds(self) -> None:
+        """Range/type checks for the remaining knobs (RP003 coverage).
+
+        Every field gets at least a sanity check here so a typo'd override
+        (negative latency, float seed) fails at construction instead of
+        producing a silently wrong simulation.
+        """
+        if not isinstance(self.memory, DramTiming):
+            raise ValueError("memory must be a DramTiming instance")
+        if not isinstance(self.energy, EnergyParams):
+            raise ValueError("energy must be an EnergyParams instance")
+        if self.unit_memory_bytes < self.cache_line_bytes:
+            raise ValueError("unit memory must hold at least one cache line")
+        if self.l1_hit_cycles < 1:
+            raise ValueError("L1 hit latency must be at least one cycle")
+        if self.hop_cycles < 0 or self.arbiter_cycles < 0:
+            raise ValueError("hop/arbiter cycle costs must be non-negative")
+        if self.local_hops < 0:
+            raise ValueError("local_hops must be non-negative")
+        if self.crossbar_bytes_per_cycle <= 0:
+            raise ValueError("crossbar bandwidth must be positive")
+        if self.link_latency_ns < 0:
+            raise ValueError("link_latency_ns must be non-negative")
+        if self.link_bandwidth_gbps <= 0:
+            raise ValueError("link_bandwidth_gbps must be positive")
+        if self.se_service_se_cycles < 0:
+            raise ValueError("se_service_se_cycles must be non-negative")
+        if self.fairness_threshold < 0:
+            raise ValueError("fairness_threshold must be >= 0 (0 disables)")
+        if self.spin_backoff_cycles < 0:
+            raise ValueError("spin_backoff_cycles must be non-negative")
+        if self.server_handler_instructions < 0:
+            raise ValueError("server handler instruction count must be >= 0")
+        if self.server_handler_accesses < 0:
+            raise ValueError("server handler access count must be >= 0")
+        if not isinstance(self.elide_waits, bool):
+            raise ValueError("elide_waits must be a bool")
+        if not isinstance(self.seed, int) or isinstance(self.seed, bool):
+            raise ValueError("seed must be an int")
+        if not isinstance(self.fault_seed, int) \
+                or isinstance(self.fault_seed, bool):
+            raise ValueError("fault_seed must be an int")
 
     def _validate_fabric_overrides(self) -> None:
         """Shape/range checks for link_profile and the fault fields.
@@ -395,10 +438,15 @@ class SystemConfig:
         :class:`~repro.sim.topo.faults.FaultPlan` (faults).
         """
         n = self.num_units
-        for name in ("fault_link_rate", "fault_transient_rate"):
-            rate = getattr(self, name)
-            if not 0.0 <= rate <= 1.0:
-                raise ValueError(f"{name} must be in [0, 1], got {rate}")
+        if not 0.0 <= self.fault_link_rate <= 1.0:
+            raise ValueError(
+                f"fault_link_rate must be in [0, 1], got {self.fault_link_rate}"
+            )
+        if not 0.0 <= self.fault_transient_rate <= 1.0:
+            raise ValueError(
+                "fault_transient_rate must be in [0, 1], got "
+                f"{self.fault_transient_rate}"
+            )
         if self.fault_window_cycles < 1:
             raise ValueError("fault_window_cycles must be positive")
         if self.fault_repair_cycles < 1:

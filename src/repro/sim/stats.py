@@ -30,7 +30,24 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, FrozenSet, List, Optional
+
+#: Declared inventory of ``SystemStats.extra`` counter keys.  ``extra`` is a
+#: Counter, so a typo'd key at a bump site silently creates a parallel
+#: counter that every report reads as zero; the RP006 lint rule requires
+#: each ``stats.extra[...]`` store to use a string literal from this set.
+EXTRA_COUNTERS: FrozenSet[str] = frozenset({
+    #: bakery-mutex waitlist scans performed by server cores.
+    "bakery_scans",
+    #: bakery-mutex ticket re-polls (spin iterations at the SE).
+    "bakery_polls",
+    #: failed lock/CAS attempts retried by spinning baselines.
+    "spin_retries",
+    #: read-modify-write operations executed by remote-atomics baselines.
+    "rmw_ops",
+    #: shared-LLC accesses made on behalf of synchronization.
+    "llc_sync_accesses",
+})
 
 
 @dataclass(slots=True)

@@ -31,6 +31,7 @@ from repro.sim.network import Interconnect
 from repro.sim.smt import IssuePort
 from repro.sim.stats import SystemStats
 from repro.sim.syncif import SyncVar
+from repro.analysis.sanitizer import sanitizer_active
 from repro.sim.topo.faults import FaultPlan
 from repro.telemetry import get_telemetry
 
@@ -87,6 +88,11 @@ class NDPSystem:
             # gains the reserved telemetry.* wall-clock keys.  Simulated
             # physics is unaffected (see Simulator.enable_profile).
             self.sim.enable_profile()
+        if sanitizer_active():
+            # Determinism-sanitizer session active (repro run --sanitize):
+            # record per-cycle access sets and flag same-cycle ordering
+            # hazards.  Observational only (see repro.analysis.sanitizer).
+            self.sim.enable_sanitizer()
         self.stats = SystemStats()
         self.addrmap = AddressMap(
             config.num_units, config.unit_memory_bytes, config.cache_line_bytes

@@ -64,11 +64,11 @@ class MessageTracer:
     def _install(self) -> None:
         engines = list(getattr(self.system.mechanism, "ses", []))
         engines.extend(getattr(self.system.mechanism, "_fallbacks", []))
-        seen = set()
+        hooked: List[object] = []
         for engine in engines:
-            if id(engine) in seen:  # Central aliases one server N times
-                continue
-            seen.add(id(engine))
+            if any(e is engine for e in hooked):  # Central aliases one
+                continue                          # server N times
+            hooked.append(engine)
             self._hook(engine)
 
     def _hook(self, engine) -> None:

@@ -79,7 +79,12 @@ def barabasi_albert(n: int, m: int, seed: int, name: str = "ba") -> Graph:
         targets = set()
         while len(targets) < m:
             targets.add(pool[rng.randrange(len(pool))])
-        for v in targets:
+        # Determinism: set iteration order is a CPython implementation
+        # detail, and edge insertion order shapes every adjacency list (and
+        # therefore access patterns in every graph workload).  sorted()
+        # pins the order to the vertex ids themselves.  Changing this
+        # changed the generated graphs — CACHE_FORMAT_VERSION was bumped.
+        for v in sorted(targets):
             adjacency[u].append(v)
             adjacency[v].append(u)
             pool.extend((u, v))
